@@ -1,0 +1,113 @@
+package eigenpro
+
+import (
+	"math"
+	"testing"
+)
+
+// The façade tests exercise the full public workflow end-to-end: dataset
+// generation, automatic training, baseline fitting, and metric evaluation.
+
+func TestPublicTrainWorkflow(t *testing.T) {
+	ds := SUSYLike(400, 1)
+	train, test := ds.Split(0.8, 1)
+	res, err := Train(Config{
+		Kernel: GaussianKernel(4),
+		Epochs: 6,
+		Seed:   1,
+	}, train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodEigenPro2 {
+		t.Fatalf("zero-value config must select EigenPro 2.0, got %v", res.Method)
+	}
+	errRate := ClassificationError(res.Model.Predict(test.X), test.Labels)
+	if errRate > 0.35 {
+		t.Fatalf("test error %v implausibly high", errRate)
+	}
+	if res.Params.Batch < 1 || res.Params.Eta <= 0 {
+		t.Fatalf("bad auto params %+v", res.Params)
+	}
+}
+
+func TestPublicKernels(t *testing.T) {
+	x := []float64{0, 0}
+	z := []float64{3, 4}
+	if g := GaussianKernel(5).Eval(x, z); math.Abs(g-math.Exp(-0.5)) > 1e-15 {
+		t.Fatalf("gaussian = %v", g)
+	}
+	if l := LaplacianKernel(5).Eval(x, z); math.Abs(l-math.Exp(-1)) > 1e-15 {
+		t.Fatalf("laplacian = %v", l)
+	}
+	if c := CauchyKernel(5).Eval(x, z); math.Abs(c-0.5) > 1e-15 {
+		t.Fatalf("cauchy = %v", c)
+	}
+}
+
+func TestPublicMatrixHelpers(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatal("NewMatrix dims wrong")
+	}
+	w := NewMatrixData(1, 2, []float64{1, 2})
+	if w.At(0, 1) != 2 {
+		t.Fatal("NewMatrixData wrong")
+	}
+	target := NewMatrixData(1, 2, []float64{1, 4})
+	if got := MSE(w, target); got != 2 {
+		t.Fatalf("MSE = %v, want 2", got)
+	}
+}
+
+func TestPublicSpectrumAndParams(t *testing.T) {
+	ds := MNISTLike(300, 2)
+	sp, err := EstimateSpectrum(GaussianKernel(5), ds.X, 150, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := SelectParams(sp, SimTitanXp(), ds.N(), ds.Dim(), ds.LabelDim())
+	if p.MMax < 1 || p.QAdjusted < p.Q {
+		t.Fatalf("bad params %+v", p)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	ds := SUSYLike(300, 3)
+	train, test := ds.Split(0.8, 3)
+
+	fk, err := FitFalkon(FalkonConfig{
+		Kernel: GaussianKernel(4), Centers: 80, Lambda: 1e-6, Seed: 3,
+	}, train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := ClassificationError(fk.Model.Predict(test.X), test.Labels); e > 0.4 {
+		t.Fatalf("falkon error %v implausibly high", e)
+	}
+
+	sv, err := TrainSVM(SVMConfig{Kernel: GaussianKernel(4), C: 10, Seed: 3},
+		train.X, train.Labels, train.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := sv.Model.PredictLabels(test.X)
+	if len(pred) != test.N() {
+		t.Fatal("svm prediction count wrong")
+	}
+}
+
+func TestPublicDatasetGenerators(t *testing.T) {
+	for _, ds := range []*Dataset{
+		MNISTLike(20, 1), CIFAR10Like(20, 1), SVHNLike(20, 1),
+		TIMITLike(48, 1), SUSYLike(20, 1), ImageNetFeaturesLike(50, 1),
+	} {
+		if ds.N() == 0 || ds.Dim() == 0 || ds.Classes < 2 {
+			t.Fatalf("%s: degenerate dataset", ds.Name)
+		}
+	}
+	custom := GenerateDataset(GenConfig{Name: "c", N: 30, Dim: 5, Classes: 3, Seed: 1})
+	if custom.LabelDim() != 3 {
+		t.Fatal("custom dataset label dim wrong")
+	}
+}

@@ -1,0 +1,257 @@
+// Package eigenpro is the public API of the EigenPro 2.0 reproduction: a
+// kernel machine that adapts its optimization to a parallel computational
+// resource so that the critical mini-batch size m* matches the resource's
+// maximum useful batch m_max, extending linear batch-size scaling to full
+// device utilization (Ma & Belkin, "Kernel machines that adapt to GPUs for
+// effective large batch training", MLSys 2019).
+//
+// Quick start:
+//
+//	ds := eigenpro.MNISTLike(2000, 1)
+//	train, test := ds.Split(0.8, 1)
+//	res, err := eigenpro.Train(eigenpro.Config{
+//		Kernel: eigenpro.GaussianKernel(5),
+//		Epochs: 10,
+//	}, train.X, train.Y)
+//	if err != nil { ... }
+//	errRate := eigenpro.ClassificationError(res.Model.Predict(test.X), test.Labels)
+//
+// All optimization parameters — the fixed coordinate block size s, the
+// spectral flattening depth q, the batch size m = m_max, and the step size
+// η — are selected analytically from the kernel spectrum and the device
+// model; the only real knobs are the kernel family and its bandwidth.
+package eigenpro
+
+import (
+	"io"
+
+	"eigenpro/internal/core"
+	"eigenpro/internal/data"
+	"eigenpro/internal/device"
+	"eigenpro/internal/falkon"
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+	"eigenpro/internal/metrics"
+	"eigenpro/internal/parallel"
+	"eigenpro/internal/svm"
+)
+
+// Matrix is a row-major dense matrix of float64 values (one sample per
+// row for data matrices).
+type Matrix = mat.Dense
+
+// NewMatrix allocates an r x c zero matrix.
+func NewMatrix(r, c int) *Matrix { return mat.NewDense(r, c) }
+
+// NewMatrixData wraps a backing slice (length r*c) without copying.
+func NewMatrixData(r, c int, values []float64) *Matrix { return mat.NewDenseData(r, c, values) }
+
+// Kernel is a positive definite kernel function.
+type Kernel = kernel.Func
+
+// GaussianKernel returns k(x,z) = exp(−‖x−z‖²/(2σ²)).
+func GaussianKernel(sigma float64) Kernel { return kernel.Gaussian{Sigma: sigma} }
+
+// LaplacianKernel returns k(x,z) = exp(−‖x−z‖/σ); the paper (§5.5)
+// recommends it for faster training and robustness to σ.
+func LaplacianKernel(sigma float64) Kernel { return kernel.Laplacian{Sigma: sigma} }
+
+// CauchyKernel returns k(x,z) = 1/(1 + ‖x−z‖²/σ²).
+func CauchyKernel(sigma float64) Kernel { return kernel.Cauchy{Sigma: sigma} }
+
+// Matern32Kernel returns the Matérn ν=3/2 kernel
+// (1 + √3r/σ)·exp(−√3r/σ).
+func Matern32Kernel(sigma float64) Kernel { return kernel.Matern32{Sigma: sigma} }
+
+// Matern52Kernel returns the Matérn ν=5/2 kernel
+// (1 + √5r/σ + 5r²/3σ²)·exp(−√5r/σ).
+func Matern52Kernel(sigma float64) Kernel { return kernel.Matern52{Sigma: sigma} }
+
+// Device models a parallel computational resource G = (C_G, S_G); see
+// internal/device for the timing model.
+type Device = device.Device
+
+// SimTitanXp returns the default simulated GPU, scaled from the paper's
+// Nvidia GTX Titan Xp.
+func SimTitanXp() *Device { return device.SimTitanXp() }
+
+// Config configures Train; zero values select the paper's automatic
+// choices.
+type Config = core.Config
+
+// Method selects the optimizer.
+type Method = core.Method
+
+// Optimizer methods.
+const (
+	// MethodSGD is plain mini-batch kernel SGD.
+	MethodSGD = core.MethodSGD
+	// MethodEigenPro1 is the original 2017 EigenPro iteration (baseline).
+	MethodEigenPro1 = core.MethodEigenPro1
+	// MethodEigenPro2 is the improved Algorithm 1 iteration (default).
+	MethodEigenPro2 = core.MethodEigenPro2
+)
+
+// Model is a trained kernel machine f(x) = Σ_i α_i k(x_i, x).
+type Model = core.Model
+
+// Result reports a completed training run, including the analytically
+// selected parameters (Params) and per-epoch history.
+type Result = core.Result
+
+// Params bundles the automatically selected quantities (q, m_max, η, ...);
+// it corresponds to a row of the paper's Table 4.
+type Params = core.Params
+
+// Spectrum is a Nyström estimate of the kernel operator's top spectrum.
+type Spectrum = core.Spectrum
+
+// Train fits a kernel machine on x with one-hot targets y.
+func Train(cfg Config, x, y *Matrix) (*Result, error) { return core.Train(cfg, x, y) }
+
+// EstimateSpectrum computes a reusable Nyström spectrum from an s-point
+// subsample with qmax eigenpairs.
+func EstimateSpectrum(k Kernel, x *Matrix, s, qmax int, seed int64) (*Spectrum, error) {
+	return core.EstimateSpectrum(k, x, s, qmax, seed)
+}
+
+// SelectParams runs the paper's Steps 1-2: batch-size and q selection for
+// the given workload shape on the given device.
+func SelectParams(sp *Spectrum, dev *Device, n, dim, labels int) Params {
+	return core.SelectParams(sp, dev, n, dim, labels)
+}
+
+// SolveExact computes the interpolating solution K⁻¹y directly (O(n³);
+// small problems only).
+func SolveExact(k Kernel, x, y *Matrix, jitter float64) (*Model, error) {
+	return core.SolveExact(k, x, y, jitter)
+}
+
+// BandwidthCandidate pairs a kernel with its cross-validation score.
+type BandwidthCandidate = core.BandwidthCandidate
+
+// BandwidthConfig controls SelectBandwidth.
+type BandwidthConfig = core.BandwidthConfig
+
+// SelectBandwidth cross-validates candidate kernels on a small subsample
+// (the paper's Appendix B bandwidth-selection protocol) and returns the
+// winner with all scores.
+func SelectBandwidth(cands []Kernel, x, y *Matrix, labels []int, cfg BandwidthConfig) (Kernel, []BandwidthCandidate, error) {
+	return core.SelectBandwidth(cands, x, y, labels, cfg)
+}
+
+// GaussianBandwidthLadder returns Gaussian kernels geometrically spaced
+// around the median pairwise distance of a subsample — a standard CV grid.
+func GaussianBandwidthLadder(x *Matrix, rungs int, seed int64) []Kernel {
+	return core.GaussianBandwidthLadder(x, rungs, seed)
+}
+
+// SaveModel / LoadModel persist trained models with encoding/gob.
+var (
+	// SaveModel writes a model to w.
+	SaveModel = core.SaveModel
+	// LoadModel reads a model written by SaveModel.
+	LoadModel = core.LoadModel
+	// SaveSpectrum writes a Nyström spectrum to w.
+	SaveSpectrum = core.SaveSpectrum
+	// LoadSpectrum reads a spectrum written by SaveSpectrum.
+	LoadSpectrum = core.LoadSpectrum
+)
+
+// NewDeviceGroup composes count identical devices into one data-parallel
+// resource (the paper's §6 multi-GPU direction).
+func NewDeviceGroup(base *Device, count int, opt DeviceGroupOptions) (*Device, error) {
+	return device.NewGroup(base, count, opt)
+}
+
+// DeviceGroupOptions configures NewDeviceGroup.
+type DeviceGroupOptions = device.GroupOptions
+
+// Dataset is a labeled sample collection.
+type Dataset = data.Dataset
+
+// GenConfig controls synthetic dataset generation.
+type GenConfig = data.GenConfig
+
+// GenerateDataset builds a synthetic classification dataset.
+func GenerateDataset(cfg GenConfig) *Dataset { return data.Generate(cfg) }
+
+// MNISTLike generates an MNIST-shaped synthetic dataset (784 features,
+// 10 classes, values in [0,1]).
+func MNISTLike(n int, seed int64) *Dataset { return data.MNISTLike(n, seed) }
+
+// CIFAR10Like generates a grayscale-CIFAR-shaped dataset (1024 features,
+// 10 classes).
+func CIFAR10Like(n int, seed int64) *Dataset { return data.CIFAR10Like(n, seed) }
+
+// SVHNLike generates a grayscale-SVHN-shaped dataset (1024 features,
+// 10 classes).
+func SVHNLike(n int, seed int64) *Dataset { return data.SVHNLike(n, seed) }
+
+// TIMITLike generates a TIMIT-frame-shaped dataset (440 z-scored features,
+// 48 classes).
+func TIMITLike(n int, seed int64) *Dataset { return data.TIMITLike(n, seed) }
+
+// SUSYLike generates a SUSY-shaped dataset (18 features, 2 classes).
+func SUSYLike(n int, seed int64) *Dataset { return data.SUSYLike(n, seed) }
+
+// ImageNetFeaturesLike generates a dataset shaped like the paper's
+// PCA-reduced ImageNet CNN features (256 features, 50 classes).
+func ImageNetFeaturesLike(n int, seed int64) *Dataset { return data.ImageNetFeaturesLike(n, seed) }
+
+// ReadCSV parses label-first CSV rows into a dataset.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) { return data.ReadCSV(r, name) }
+
+// WriteCSV writes a dataset as label-first CSV rows.
+func WriteCSV(w io.Writer, ds *Dataset) error { return data.WriteCSV(w, ds) }
+
+// ReadLibSVM parses LibSVM/SVMLight sparse rows into a dense dataset; pass
+// dim 0 to infer the feature dimension.
+func ReadLibSVM(r io.Reader, name string, dim int) (*Dataset, error) {
+	return data.ReadLibSVM(r, name, dim)
+}
+
+// WriteLibSVM writes a dataset in LibSVM/SVMLight sparse format.
+func WriteLibSVM(w io.Writer, ds *Dataset) error { return data.WriteLibSVM(w, ds) }
+
+// ShardedConfig configures data-parallel training across a device group
+// (the paper's §6 multi-GPU direction).
+type ShardedConfig = parallel.Config
+
+// ShardedResult reports a data-parallel run.
+type ShardedResult = parallel.Result
+
+// TrainSharded fits a kernel machine with the center set partitioned
+// across workers; the result matches single-device Train up to roundoff.
+func TrainSharded(cfg ShardedConfig, x, y *Matrix) (*ShardedResult, error) {
+	return parallel.Train(cfg, x, y)
+}
+
+// MSE returns the mean squared error between predictions and targets.
+func MSE(pred, target *Matrix) float64 { return metrics.MSE(pred, target) }
+
+// ClassificationError returns the argmax misclassification rate.
+func ClassificationError(pred *Matrix, labels []int) float64 {
+	return metrics.ClassificationError(pred, labels)
+}
+
+// FalkonConfig configures the FALKON baseline (Rudi et al. 2017).
+type FalkonConfig = falkon.Config
+
+// FalkonResult reports a FALKON fit.
+type FalkonResult = falkon.Result
+
+// FitFalkon trains the FALKON baseline.
+func FitFalkon(cfg FalkonConfig, x, y *Matrix) (*FalkonResult, error) { return falkon.Fit(cfg, x, y) }
+
+// SVMConfig configures the SMO kernel-SVM baseline.
+type SVMConfig = svm.Config
+
+// SVMResult reports an SVM fit.
+type SVMResult = svm.Result
+
+// TrainSVM fits a one-vs-rest kernel SVM (LibSVM stand-in; set
+// Config.Parallel for the ThunderSVM-like driver).
+func TrainSVM(cfg SVMConfig, x *Matrix, labels []int, classes int) (*SVMResult, error) {
+	return svm.Train(cfg, x, labels, classes)
+}

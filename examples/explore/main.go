@@ -1,0 +1,59 @@
+// Explore walks the full exploratory-ML loop of the paper's §5.4 and
+// Appendix B: select the kernel bandwidth by cross-validation on a small
+// subsample, train with automatic parameters, persist the model, and serve
+// predictions from the reloaded copy.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"eigenpro"
+)
+
+func main() {
+	ds := eigenpro.SVHNLike(900, 17)
+	train, test := ds.Split(0.8, 17)
+
+	// Appendix B: bandwidth by cross-validation on a subsample, over a
+	// geometric ladder centered at the median pairwise distance.
+	ladder := eigenpro.GaussianBandwidthLadder(train.X, 5, 17)
+	best, scored, err := eigenpro.SelectBandwidth(ladder, train.X, train.Y, train.Labels,
+		eigenpro.BandwidthConfig{Subsample: 300, Folds: 3, Epochs: 4, Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bandwidth search:")
+	for _, c := range scored {
+		marker := " "
+		if c.Kernel == best {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-18s cv error %.1f%%\n", marker, c.Kernel.Name(), 100*c.Error)
+	}
+
+	// Train with the winner; everything else is automatic.
+	res, err := eigenpro.Train(eigenpro.Config{
+		Kernel: best, Epochs: 6, Seed: 17,
+	}, train.X, train.Y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testErr := eigenpro.ClassificationError(res.Model.Predict(test.X), test.Labels)
+	fmt.Printf("\ntrained with %s: test error %.2f%% in %v wall time\n",
+		best.Name(), 100*testErr, res.WallTime.Round(1000000))
+
+	// Persist and reload — the deployment path.
+	var buf bytes.Buffer
+	if err := eigenpro.SaveModel(&buf, res.Model); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	loaded, err := eigenpro.LoadModel(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gap := eigenpro.MSE(loaded.Predict(test.X), res.Model.Predict(test.X))
+	fmt.Printf("serialized %d bytes; reloaded model prediction gap: %g\n", size, gap)
+}

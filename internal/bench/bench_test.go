@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+	}
+	r.AddRow("1", "2")
+	r.AddNote("scale %s", Small)
+	s := r.String()
+	if !strings.Contains(s, "== x: demo ==") || !strings.Contains(s, "note: scale small") {
+		t.Fatalf("rendering wrong:\n%s", s)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Small.String() != "small" || Medium.String() != "medium" || Large.String() != "large" {
+		t.Fatal("scale names wrong")
+	}
+	if Scale(9).String() != "Scale(9)" {
+		t.Fatal("unknown scale formatting")
+	}
+	if Small.pick(1, 2, 3) != 1 || Medium.pick(1, 2, 3) != 2 || Large.pick(1, 2, 3) != 3 {
+		t.Fatal("pick wrong")
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtDur(90 * time.Second); got != "1.5m" {
+		t.Fatalf("fmtDur minute = %q", got)
+	}
+	if got := fmtDur(1500 * time.Millisecond); got != "1.50s" {
+		t.Fatalf("fmtDur second = %q", got)
+	}
+	if got := fmtDur(2500 * time.Microsecond); got != "2.50ms" {
+		t.Fatalf("fmtDur ms = %q", got)
+	}
+	if got := fmtDur(12 * time.Microsecond); got != "12µs" {
+		t.Fatalf("fmtDur µs = %q", got)
+	}
+	if got := fmtPct(0.123); got != "12.3%" {
+		t.Fatalf("fmtPct = %q", got)
+	}
+}
+
+func TestBatchSweep(t *testing.T) {
+	got := batchSweep(100)
+	if got[0] != 1 || got[len(got)-1] != 100 {
+		t.Fatalf("sweep = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("sweep not increasing: %v", got)
+		}
+	}
+	if got := batchSweep(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("sweep(1) = %v", got)
+	}
+}
+
+func TestLabelError(t *testing.T) {
+	if got := labelError([]int{1, 2, 3}, []int{1, 0, 3}); got != 1.0/3 {
+		t.Fatalf("labelError = %v", got)
+	}
+	if got := labelError(nil, nil); got != 0 {
+		t.Fatalf("labelError empty = %v", got)
+	}
+}
+
+func TestFigure3aShape(t *testing.T) {
+	rep := Figure3a(Small)
+	if rep.ID != "figure3a" || len(rep.Rows) == 0 {
+		t.Fatal("empty report")
+	}
+	// Parallel curve: first two rows (tiny batches) identical time; last
+	// rows strictly larger than the flat region.
+	if rep.Rows[0][1] != rep.Rows[1][1] {
+		t.Fatalf("sub-capacity parallel times differ: %v vs %v", rep.Rows[0][1], rep.Rows[1][1])
+	}
+	// Ideal stays flat across the whole sweep.
+	first := rep.Rows[0][2]
+	last := rep.Rows[len(rep.Rows)-1][2]
+	if first != last {
+		t.Fatalf("ideal curve not flat: %v vs %v", first, last)
+	}
+}
+
+func TestFigure3bShape(t *testing.T) {
+	rep := Figure3b(Small)
+	if len(rep.Rows) == 0 || len(rep.Header) != 5 {
+		t.Fatalf("unexpected report shape: header %v", rep.Header)
+	}
+}
+
+func TestTable1Formulas(t *testing.T) {
+	rep, err := Table1(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("want 3 method rows, got %d", len(rep.Rows))
+	}
+	// Improved overhead must be sub-1% at paper scale.
+	if rep.Rows[0][2] != "0.1%" {
+		t.Fatalf("improved overhead cell = %q, want 0.1%%", rep.Rows[0][2])
+	}
+	// Original EigenPro's overhead is two orders of magnitude larger.
+	if rep.Rows[1][2] != "9.1%" {
+		t.Fatalf("original overhead cell = %q, want 9.1%%", rep.Rows[1][2])
+	}
+}
+
+func TestTable4Runs(t *testing.T) {
+	rep, err := Table4(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("want 4 dataset rows, got %d", len(rep.Rows))
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Table2(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 12 { // 4 datasets x 3 methods
+		t.Fatalf("want 12 rows, got %d", len(rep.Rows))
+	}
+}
+
+func TestFigure2Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	reps, err := Figure2(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("want 2 figure2 reports, got %d", len(reps))
+	}
+	for _, r := range reps {
+		if len(r.Rows) < 3 {
+			t.Fatalf("%s: too few batch rows", r.Title)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"eigenpro/internal/core"
+	"eigenpro/internal/device"
+)
+
+// batchSweep returns a geometric batch-size ladder 1,2,4,... capped at and
+// including mmax.
+func batchSweep(mmax int) []int {
+	var out []int
+	for m := 1; m < mmax; m *= 4 {
+		out = append(out, m)
+	}
+	return append(out, mmax)
+}
+
+// Figure2 regenerates the paper's Figure 2 (and the schematic Figure 1):
+// simulated GPU time to reach a fixed train-MSE threshold as a function of
+// batch size, for plain SGD, original EigenPro, and EigenPro 2.0, on
+// MNIST-like and TIMIT-like workloads. The expected shape: SGD and
+// EigenPro 1.0 stop improving beyond the small critical batch m*(k), while
+// EigenPro 2.0 keeps accelerating up to m_max.
+func Figure2(scale Scale) ([]*Report, error) {
+	dev := experimentDevice()
+	epochCap := scale.pick(40, 60, 80)
+	sub := scale.pick(256, 400, 800)
+	var reports []*Report
+	for _, wl := range figure2Workloads(scale) {
+		n, d, l := wl.ds.N(), wl.ds.Dim(), wl.ds.LabelDim()
+		mmax := dev.MaxBatch(n, d, l)
+		threshold := 2e-3
+
+		sp, err := core.EstimateSpectrum(wl.kern, wl.ds.X, sub, 64, 7)
+		if err != nil {
+			return nil, fmt.Errorf("bench: figure2 %s: %w", wl.name, err)
+		}
+		rep := &Report{
+			ID:     "figure2",
+			Title:  fmt.Sprintf("time to train mse < %g vs batch size (%s, n=%d)", threshold, wl.name, n),
+			Header: []string{"batch", "sgd time", "sgd epochs", "eigenpro1 time", "ep1 epochs", "eigenpro2 time", "ep2 epochs"},
+		}
+		rep.AddNote("kernel %s; m*(k) = %.1f; m_max = %d; epoch cap %d",
+			wl.kern.Name(), core.MStar(sp), mmax, epochCap)
+
+		for _, m := range batchSweep(mmax) {
+			row := []string{fmt.Sprintf("%d", m)}
+			for _, method := range []core.Method{core.MethodSGD, core.MethodEigenPro1, core.MethodEigenPro2} {
+				res, err := core.Train(core.Config{
+					Kernel: wl.kern, Device: dev, Method: method,
+					S: sub, QMax: 64, Batch: m,
+					Epochs: epochCap, StopTrainMSE: threshold,
+					Seed: 11, Spectrum: sp,
+				}, wl.ds.X, wl.ds.Y)
+				if err != nil {
+					return nil, fmt.Errorf("bench: figure2 %s %v m=%d: %w", wl.name, method, m, err)
+				}
+				if res.Converged {
+					row = append(row, fmtDur(res.SimTime), fmt.Sprintf("%d", res.Epochs))
+				} else {
+					row = append(row, ">"+fmtDur(res.SimTime), fmt.Sprintf(">%d", res.Epochs))
+				}
+			}
+			rep.AddRow(row...)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// Figure3a regenerates the paper's Figure 3a: simulated time per training
+// iteration versus batch size on the actual (parallel) device, an ideal
+// infinitely-parallel device, and a sequential device, for a TIMIT-shaped
+// workload. The parallel curve is flat until the wave capacity is reached
+// (near m ≈ 1000 for this device/workload pairing) and linear afterwards.
+func Figure3a(scale Scale) *Report {
+	// Pure device-model experiment: n can stay at paper scale.
+	n, d, l := 100000, 440, 48
+	dev := &device.Device{
+		Name:           "sim-gpu-large",
+		ParallelOps:    5e10,
+		MemoryFloats:   2e9,
+		WaveTime:       2 * time.Millisecond,
+		LaunchOverhead: 150 * time.Microsecond,
+	}
+	rep := &Report{
+		ID:     "figure3a",
+		Title:  fmt.Sprintf("time per iteration vs batch size (TIMIT-shaped, n=%d, d=%d)", n, d),
+		Header: []string{"batch", "parallel (actual)", "ideal", "sequential"},
+	}
+	knee := dev.BatchCompute(n, d, l)
+	rep.AddNote("device capacity C_G = %.2g ops/wave; compute-saturating batch m_C = %d", dev.ParallelOps, knee)
+	ideal := dev.WithMode(device.Ideal)
+	seq := dev.WithMode(device.Sequential)
+	for m := 1; m <= 16384; m *= 2 {
+		ops := core.SGDIterOps(n, m, d, l)
+		rep.AddRow(
+			fmt.Sprintf("%d", m),
+			fmtDur(dev.IterationTime(ops)),
+			fmtDur(ideal.IterationTime(ops)),
+			fmtDur(seq.IterationTime(ops)),
+		)
+	}
+	_ = scale
+	return rep
+}
+
+// Figure3b regenerates the paper's Figure 3b: simulated GPU time per
+// training epoch as a function of batch size, for several model/train-set
+// sizes n. Larger batches amortize per-iteration launch overhead (Amdahl's
+// law) until the device saturates; the speedup is consistent across n.
+func Figure3b(scale Scale) *Report {
+	d, l := 440, 48
+	dev := &device.Device{
+		Name:           "sim-gpu-large",
+		ParallelOps:    5e10,
+		MemoryFloats:   4e9,
+		WaveTime:       2 * time.Millisecond,
+		LaunchOverhead: 150 * time.Microsecond,
+	}
+	sizes := []int{25000, 50000, 100000, 200000}
+	rep := &Report{
+		ID:     "figure3b",
+		Title:  "GPU time per epoch vs batch size across model sizes n",
+		Header: []string{"batch"},
+	}
+	for _, n := range sizes {
+		rep.Header = append(rep.Header, fmt.Sprintf("n=%d", n))
+	}
+	for m := 16; m <= 16384; m *= 2 {
+		row := []string{fmt.Sprintf("%d", m)}
+		for _, n := range sizes {
+			iters := (n + m - 1) / m
+			perIter := dev.IterationTime(core.SGDIterOps(n, m, d, l))
+			row = append(row, fmtDur(time.Duration(iters)*perIter))
+		}
+		rep.AddRow(row...)
+	}
+	rep.AddNote("epoch time = ceil(n/m) × per-iteration time; flattening marks full device utilization")
+	_ = scale
+	return rep
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"eigenpro/internal/data"
+	"eigenpro/internal/device"
+	"eigenpro/internal/kernel"
+)
+
+// workload bundles a dataset with the kernel the experiments use on it
+// (the analogue of the paper's per-dataset kernel/bandwidth selection in
+// Table 4, chosen once by small-scale cross-validation on the synthetic
+// generators).
+type workload struct {
+	name   string
+	ds     *data.Dataset
+	kern   kernel.Func
+	epochs int // paper-style small epoch budget for Table 2
+}
+
+// table2Workloads returns the scaled stand-ins for the paper's Table 2
+// datasets (MNIST, TIMIT, ImageNet features, SUSY).
+func table2Workloads(scale Scale) []workload {
+	n := scale.pick(400, 1200, 4000)
+	return []workload{
+		{"mnist-like", data.MNISTLike(n, 21), kernel.Gaussian{Sigma: 5}, 4},
+		{"timit-like", data.TIMITLike(n, 22), kernel.Laplacian{Sigma: 15}, 3},
+		{"imagenet-feat-like", data.ImageNetFeaturesLike(n, 23), kernel.Gaussian{Sigma: 8}, 2},
+		{"susy-like", data.SUSYLike(n, 24), kernel.Gaussian{Sigma: 4}, 2},
+	}
+}
+
+// table3Workloads returns the scaled stand-ins for the paper's Table 3
+// ("interactive training") datasets.
+func table3Workloads(scale Scale) []workload {
+	n := scale.pick(300, 700, 2000)
+	return []workload{
+		{"timit-like", data.TIMITLike(n, 31), kernel.Laplacian{Sigma: 15}, 6},
+		{"svhn-like", data.SVHNLike(n, 32), kernel.Gaussian{Sigma: 6}, 6},
+		{"mnist-like", data.MNISTLike(n, 33), kernel.Gaussian{Sigma: 5}, 6},
+		{"cifar10-like", data.CIFAR10Like(n, 34), kernel.Gaussian{Sigma: 6}, 6},
+	}
+}
+
+// figure2Workloads returns reduced-dimension convergence workloads for the
+// batch-size sweeps of Figure 2. Dimension is shrunk (shape of the sweep
+// depends only on the kernel spectrum, not on d) so the sweep finishes on
+// one CPU core.
+func figure2Workloads(scale Scale) []workload {
+	n := scale.pick(500, 1200, 3000)
+	mnist := data.Generate(data.GenConfig{
+		Name: "mnist-like-reduced", N: n, Dim: 48, Classes: 10,
+		LatentDim: 12, ClustersPerClass: 2, ClusterSpread: 0.3,
+		Decay: 1.2, Noise: 0.03, Range01: true, Seed: 41,
+	})
+	timit := data.Generate(data.GenConfig{
+		Name: "timit-like-reduced", N: n, Dim: 64, Classes: 12,
+		LatentDim: 16, ClustersPerClass: 2, ClusterSpread: 0.45,
+		Decay: 0.8, Noise: 0.1, Range01: false, Seed: 42,
+	})
+	return []workload{
+		{"mnist-like", mnist, kernel.Gaussian{Sigma: 1.2}, 0},
+		{"timit-like", timit, kernel.Laplacian{Sigma: 12}, 0},
+	}
+}
+
+// experimentDevice returns the simulated GPU every training experiment
+// charges against.
+func experimentDevice() *device.Device { return device.SimTitanXp() }

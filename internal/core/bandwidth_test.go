@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+)
+
+func TestQuickSelectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(50)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		k := rng.Intn(n)
+		cp := append([]float64(nil), s...)
+		sort.Float64s(cp)
+		if got := quickSelect(s, k); got != cp[k] {
+			t.Fatalf("quickSelect(%d) = %v, want %v", k, got, cp[k])
+		}
+	}
+}
+
+func TestMedianPairwiseDistance(t *testing.T) {
+	// Four points on a unit segment: distances {1,1,1,2,2,3}... use a
+	// simple known set.
+	x := mat.NewDenseData(3, 1, []float64{0, 1, 3})
+	// Pairwise distances: 1, 3, 2 → median 2.
+	if got := MedianPairwiseDistance(x, 10, 1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("median = %v, want 2", got)
+	}
+	if got := MedianPairwiseDistance(mat.NewDense(1, 3), 10, 1); got != 0 {
+		t.Fatalf("single point median = %v, want 0", got)
+	}
+}
+
+func TestGaussianBandwidthLadder(t *testing.T) {
+	ds := testDataset(100)
+	ladder := GaussianBandwidthLadder(ds.X, 5, 1)
+	if len(ladder) != 5 {
+		t.Fatalf("ladder length %d", len(ladder))
+	}
+	prev := 0.0
+	for _, k := range ladder {
+		g := k.(kernel.Gaussian)
+		if g.Sigma <= prev {
+			t.Fatal("ladder not increasing")
+		}
+		prev = g.Sigma
+	}
+	// Middle rung ≈ median distance.
+	mid := ladder[2].(kernel.Gaussian).Sigma
+	med := MedianPairwiseDistance(ds.X, 256, 1)
+	if math.Abs(mid-med) > 1e-9 {
+		t.Fatalf("middle rung %v != median %v", mid, med)
+	}
+}
+
+func TestSelectBandwidthPicksReasonableSigma(t *testing.T) {
+	ds := testDataset(300)
+	// Include absurd bandwidths; CV must reject them in favor of a sane
+	// one.
+	cands := []kernel.Func{
+		kernel.Gaussian{Sigma: 0.01}, // far too narrow: memorizes nothing useful
+		kernel.Gaussian{Sigma: 4},    // reasonable
+		kernel.Gaussian{Sigma: 5000}, // far too wide: nearly constant kernel
+	}
+	best, scored, err := SelectBandwidth(cands, ds.X, ds.Y, ds.Labels, BandwidthConfig{
+		Subsample: 200, Folds: 3, Epochs: 5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) != 3 {
+		t.Fatalf("scored %d candidates", len(scored))
+	}
+	if got := best.(kernel.Gaussian).Sigma; got != 4 {
+		t.Fatalf("selected σ=%v, want 4 (scores: %+v)", got, scored)
+	}
+	// The winner's score must be the minimum.
+	for _, c := range scored {
+		if c.Error < scored[1].Error-1e-12 {
+			t.Fatalf("winner not minimal: %+v", scored)
+		}
+	}
+}
+
+func TestSelectBandwidthErrors(t *testing.T) {
+	ds := testDataset(50)
+	if _, _, err := SelectBandwidth(nil, ds.X, ds.Y, ds.Labels, BandwidthConfig{}); err == nil {
+		t.Fatal("no candidates must error")
+	}
+	if _, _, err := SelectBandwidth([]kernel.Func{kernel.Gaussian{Sigma: 1}},
+		ds.X, ds.Y, ds.Labels[:10], BandwidthConfig{}); err == nil {
+		t.Fatal("label mismatch must error")
+	}
+	if _, _, err := SelectBandwidth([]kernel.Func{kernel.Gaussian{Sigma: 1}},
+		ds.X, ds.Y, ds.Labels, BandwidthConfig{Folds: 30}); err == nil {
+		t.Fatal("too many folds must error")
+	}
+}

@@ -1,0 +1,20 @@
+// Package core implements the paper's primary contribution: EigenPro 2.0,
+// a learning framework that adapts a kernel machine to a parallel
+// computational resource so that SGD's critical batch size m* matches the
+// resource's maximum useful batch size m_max, extending linear scaling to
+// full device utilization without changing the learned predictor.
+//
+// The pipeline follows §3 of the paper:
+//
+//  1. Compute m_max = min(m_C, m_S) from the resource model
+//     (internal/device).
+//  2. Estimate the top of the kernel spectrum from an s-point Nyström
+//     subsample (Spectrum) and pick q = max{i : m*(k_Pi) ≤ m_max} (Eq. 7).
+//  3. Train with the improved EigenPro iteration (Algorithm 1, "double
+//     coordinate block descent") using the analytic batch size m = m_max
+//     and step size η.
+//
+// The same Trainer also runs plain mini-batch SGD and the original
+// (2017-style) EigenPro iteration, which serve as the paper's baselines in
+// Figure 2 and Tables 1-2.
+package core

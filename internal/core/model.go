@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+)
+
+// Model is a trained kernel machine f(x) = Σ_i α_i k(x_i, x) with one
+// coefficient row per training sample and one coefficient column per output
+// dimension.
+type Model struct {
+	// Kern is the kernel used at training time. Prediction always uses the
+	// original kernel: the EigenPro preconditioner changes the optimization
+	// path, not the predictor (paper §1, "mathematically equivalent
+	// prediction function").
+	Kern kernel.Func
+	// X holds the training samples / kernel centers (n x d).
+	X *mat.Dense
+	// Alpha holds the model coefficients (n x l).
+	Alpha *mat.Dense
+}
+
+// NewModel returns a zero-initialized model over the given centers.
+func NewModel(k kernel.Func, x *mat.Dense, labels int) *Model {
+	return &Model{Kern: k, X: x, Alpha: mat.NewDense(x.Rows, labels)}
+}
+
+// Predict evaluates the model on the rows of xq, returning an
+// xq.Rows x l matrix. Large query sets are processed in row blocks to bound
+// the size of the intermediate kernel matrix.
+func (m *Model) Predict(xq *mat.Dense) *mat.Dense {
+	if xq.Cols != m.X.Cols {
+		panic(fmt.Sprintf("core: Predict on %d features, model has %d", xq.Cols, m.X.Cols))
+	}
+	const block = 2048
+	out := mat.NewDense(xq.Rows, m.Alpha.Cols)
+	for lo := 0; lo < xq.Rows; lo += block {
+		hi := lo + block
+		if hi > xq.Rows {
+			hi = xq.Rows
+		}
+		kb := kernel.Matrix(m.Kern, xq.SliceRows(lo, hi), m.X)
+		pb := mat.Mul(kb, m.Alpha)
+		for i := lo; i < hi; i++ {
+			copy(out.RowView(i), pb.RowView(i-lo))
+		}
+	}
+	return out
+}
+
+// PredictLabels returns the argmax class index of each prediction row.
+func (m *Model) PredictLabels(xq *mat.Dense) []int {
+	pred := m.Predict(xq)
+	out := make([]int, pred.Rows)
+	for i := range out {
+		out[i] = mat.ArgMaxRow(pred.RowView(i))
+	}
+	return out
+}

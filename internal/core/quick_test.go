@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eigenpro/internal/data"
+	"eigenpro/internal/kernel"
+)
+
+// Property: for random synthetic datasets and bandwidths, the estimated
+// spectrum is positive, descending, and bounded by β·s (σ₁ ≤ s for
+// normalized kernels since tr(K_s) = s).
+func TestQuickSpectrumSanity(t *testing.T) {
+	f := func(seed int64, sigmaRaw float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sigma := 0.5 + float64(int(sigmaRaw*100)%80)/10 // 0.5..8.4
+		n := 60 + r.Intn(80)
+		ds := data.Generate(data.GenConfig{
+			Name: "q", N: n, Dim: 5 + r.Intn(15), Classes: 2 + r.Intn(3),
+			Seed: seed,
+		})
+		s := n / 2
+		sp, err := EstimateSpectrum(kernel.Gaussian{Sigma: sigma}, ds.X, s, 8, seed)
+		if err != nil {
+			return false
+		}
+		prev := float64(s) + 1e-9 // σ₁ ≤ tr(K_s) = s
+		for _, v := range sp.Sigma {
+			if v < 0 || v > prev {
+				return false
+			}
+			prev = v
+		}
+		return sp.Lambda(1) <= 1+1e-9 && sp.Lambda(1) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eq. 7's q is maximal — q satisfies the constraint and q+1
+// violates it (or exhausts the spectrum) for random devices.
+func TestQuickChooseQMaximal(t *testing.T) {
+	ds := testDataset(200)
+	sp, err := EstimateSpectrum(kernel.Gaussian{Sigma: 4}, ds.X, 100, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(mMaxRaw uint16) bool {
+		mMax := 1 + int(mMaxRaw%20000)
+		q := ChooseQ(sp, mMax)
+		if q > 0 && MStarPrecond(sp, q) > float64(mMax) {
+			return false
+		}
+		if q < sp.QMax() && sp.Lambda(q+1) > 0 && MStarPrecond(sp, q+1) <= float64(mMax) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the analytic step size is always positive, below the
+// saturation cap 1/(2λ), and increasing in m.
+func TestQuickStepSizeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(5000)
+		beta := 0.1 + 0.9*r.Float64()
+		// Physical regime: λ₁(K) ≤ β(K) always holds for kernel matrices
+		// (the top eigenvalue of a PSD matrix is at most its max diagonal
+		// times n... bounded here by β for the normalized convention).
+		lam := (1e-6 + r.Float64()) * beta / 2
+		eta := StepSize(m, beta, lam)
+		if eta <= 0 {
+			return false
+		}
+		if eta >= 1/(2*lam)+1e-9 {
+			return false
+		}
+		return StepSize(m+1, beta, lam) > eta
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: training never increases the epoch-average loss by more than
+// noise between the first and last epoch for auto-selected parameters,
+// across random small datasets.
+func TestQuickTrainingImprovesLoss(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 80 + r.Intn(80)
+		ds := data.Generate(data.GenConfig{
+			Name: "q", N: n, Dim: 8 + r.Intn(16), Classes: 2 + r.Intn(4),
+			Seed: seed,
+		})
+		res, err := Train(Config{
+			Kernel: kernel.Gaussian{Sigma: 3},
+			Device: testDevice(),
+			Epochs: 4,
+			Seed:   seed,
+		}, ds.X, ds.Y)
+		if err != nil {
+			return false
+		}
+		return res.FinalTrainMSE <= res.History[0].TrainMSE*1.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+)
+
+// Serialization stores trained models and spectra with encoding/gob so a
+// model trained once (the expensive part) can serve predictions in later
+// processes — the deployment path a downstream user of the library needs.
+// Kernels are stored by family name and bandwidth rather than by interface
+// value, keeping the format stable across refactors.
+
+// kernelSpec is the serializable description of a kernel.
+type kernelSpec struct {
+	Family string
+	Sigma  float64
+}
+
+func specOf(k kernel.Func) (kernelSpec, error) {
+	switch v := k.(type) {
+	case kernel.Gaussian:
+		return kernelSpec{Family: "gaussian", Sigma: v.Sigma}, nil
+	case kernel.Laplacian:
+		return kernelSpec{Family: "laplacian", Sigma: v.Sigma}, nil
+	case kernel.Cauchy:
+		return kernelSpec{Family: "cauchy", Sigma: v.Sigma}, nil
+	case kernel.Matern32:
+		return kernelSpec{Family: "matern32", Sigma: v.Sigma}, nil
+	case kernel.Matern52:
+		return kernelSpec{Family: "matern52", Sigma: v.Sigma}, nil
+	default:
+		return kernelSpec{}, fmt.Errorf("core: cannot serialize kernel %T", k)
+	}
+}
+
+func (s kernelSpec) kernel() (kernel.Func, error) {
+	switch s.Family {
+	case "gaussian":
+		return kernel.Gaussian{Sigma: s.Sigma}, nil
+	case "laplacian":
+		return kernel.Laplacian{Sigma: s.Sigma}, nil
+	case "cauchy":
+		return kernel.Cauchy{Sigma: s.Sigma}, nil
+	case "matern32":
+		return kernel.Matern32{Sigma: s.Sigma}, nil
+	case "matern52":
+		return kernel.Matern52{Sigma: s.Sigma}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown kernel family %q", s.Family)
+	}
+}
+
+// denseWire is the serializable form of mat.Dense.
+type denseWire struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func wireOf(d *mat.Dense) denseWire {
+	if d == nil {
+		return denseWire{}
+	}
+	return denseWire{Rows: d.Rows, Cols: d.Cols, Data: d.Data}
+}
+
+func (w denseWire) dense() *mat.Dense {
+	if w.Rows == 0 && w.Cols == 0 {
+		return mat.NewDense(0, 0)
+	}
+	return mat.NewDenseData(w.Rows, w.Cols, w.Data)
+}
+
+// modelWire is the on-wire layout of a Model.
+type modelWire struct {
+	Version int
+	Kernel  kernelSpec
+	X       denseWire
+	Alpha   denseWire
+}
+
+const wireVersion = 1
+
+// SaveModel writes m to w in gob format.
+func SaveModel(w io.Writer, m *Model) error {
+	spec, err := specOf(m.Kern)
+	if err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(w)
+	return enc.Encode(modelWire{
+		Version: wireVersion,
+		Kernel:  spec,
+		X:       wireOf(m.X),
+		Alpha:   wireOf(m.Alpha),
+	})
+}
+
+// LoadModel reads a model previously written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) {
+	var w modelWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("core: LoadModel: %w", err)
+	}
+	if w.Version != wireVersion {
+		return nil, fmt.Errorf("core: LoadModel: unsupported version %d", w.Version)
+	}
+	k, err := w.Kernel.kernel()
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Kern: k, X: w.X.dense(), Alpha: w.Alpha.dense()}
+	if m.X.Rows != m.Alpha.Rows {
+		return nil, fmt.Errorf("core: LoadModel: %d centers with %d coefficient rows", m.X.Rows, m.Alpha.Rows)
+	}
+	return m, nil
+}
+
+// spectrumWire is the on-wire layout of a Spectrum.
+type spectrumWire struct {
+	Version int
+	Kernel  kernelSpec
+	SubIdx  []int
+	Xsub    denseWire
+	Sigma   []float64
+	V       denseWire
+	Beta    float64
+}
+
+// SaveSpectrum writes sp to w in gob format so the Nyström eigensystem —
+// the one non-trivial precomputation — can be reused across processes.
+func SaveSpectrum(w io.Writer, sp *Spectrum) error {
+	spec, err := specOf(sp.Kern)
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(spectrumWire{
+		Version: wireVersion,
+		Kernel:  spec,
+		SubIdx:  sp.SubIdx,
+		Xsub:    wireOf(sp.Xsub),
+		Sigma:   sp.Sigma,
+		V:       wireOf(sp.V),
+		Beta:    sp.Beta,
+	})
+}
+
+// LoadSpectrum reads a spectrum previously written by SaveSpectrum.
+func LoadSpectrum(r io.Reader) (*Spectrum, error) {
+	var w spectrumWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("core: LoadSpectrum: %w", err)
+	}
+	if w.Version != wireVersion {
+		return nil, fmt.Errorf("core: LoadSpectrum: unsupported version %d", w.Version)
+	}
+	k, err := w.Kernel.kernel()
+	if err != nil {
+		return nil, err
+	}
+	sp := &Spectrum{
+		Kern:   k,
+		SubIdx: w.SubIdx,
+		Xsub:   w.Xsub.dense(),
+		Sigma:  w.Sigma,
+		V:      w.V.dense(),
+		Beta:   w.Beta,
+	}
+	if len(sp.SubIdx) != sp.Xsub.Rows {
+		return nil, fmt.Errorf("core: LoadSpectrum: %d indices with %d subsample rows", len(sp.SubIdx), sp.Xsub.Rows)
+	}
+	if len(sp.Sigma) != sp.V.Cols {
+		return nil, fmt.Errorf("core: LoadSpectrum: %d eigenvalues with %d eigenvectors", len(sp.Sigma), sp.V.Cols)
+	}
+	return sp, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+	"eigenpro/internal/metrics"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	ds := testDataset(150)
+	for _, k := range []kernel.Func{
+		kernel.Gaussian{Sigma: 4},
+		kernel.Laplacian{Sigma: 7},
+		kernel.Cauchy{Sigma: 2},
+	} {
+		cfg := trainConfig(MethodEigenPro2)
+		cfg.Kernel = k
+		cfg.Epochs = 3
+		res, err := Train(cfg, ds.X, ds.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, res.Model); err != nil {
+			t.Fatalf("%s: save: %v", k.Name(), err)
+		}
+		loaded, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", k.Name(), err)
+		}
+		if loaded.Kern.Name() != k.Name() {
+			t.Fatalf("kernel %q round-tripped as %q", k.Name(), loaded.Kern.Name())
+		}
+		probe := testDataset(30).X
+		if mse := metrics.MSE(loaded.Predict(probe), res.Model.Predict(probe)); mse != 0 {
+			t.Fatalf("%s: predictions changed after round trip: mse %v", k.Name(), mse)
+		}
+	}
+}
+
+type unknownKernel struct{}
+
+func (unknownKernel) Eval(x, z []float64) float64 { return 0 }
+func (unknownKernel) Name() string                { return "unknown" }
+
+func TestSaveModelUnknownKernel(t *testing.T) {
+	m := NewModel(unknownKernel{}, mat.NewDense(2, 2), 1)
+	if err := SaveModel(&bytes.Buffer{}, m); err == nil {
+		t.Fatal("unknown kernel must fail to serialize")
+	}
+}
+
+func TestLoadModelGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not gob data")); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+}
+
+func TestSpectrumRoundTrip(t *testing.T) {
+	ds := testDataset(200)
+	sp, err := EstimateSpectrum(kernel.Gaussian{Sigma: 4}, ds.X, 100, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSpectrum(&buf, sp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpectrum(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.S() != sp.S() || loaded.QMax() != sp.QMax() || loaded.Beta != sp.Beta {
+		t.Fatal("spectrum metadata changed")
+	}
+	for i := range sp.Sigma {
+		if loaded.Sigma[i] != sp.Sigma[i] {
+			t.Fatal("eigenvalues changed")
+		}
+	}
+	// A training run with the loaded spectrum must reproduce the run with
+	// the original.
+	cfg := trainConfig(MethodEigenPro2)
+	cfg.Epochs = 2
+	cfg.Spectrum = sp
+	a, err := Train(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Spectrum = loaded
+	b, err := Train(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Model.Alpha.Data {
+		if a.Model.Alpha.Data[i] != b.Model.Alpha.Data[i] {
+			t.Fatal("loaded spectrum changed training result")
+		}
+	}
+}
+
+func TestLoadSpectrumGarbage(t *testing.T) {
+	if _, err := LoadSpectrum(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+)
+
+// SolveExact computes the minimum-norm interpolating solution α = K⁻¹ y
+// directly via a (jittered) Cholesky factorization of the kernel matrix.
+// It is O(n³) and intended for small problems: reference solutions in
+// tests, and the "numerical convergence target" both SGD and the adaptive
+// kernel must agree on (paper §2, Remark 2.2). jitter adds ridge
+// regularization λI for numerically singular Gram matrices; pass 0 to try
+// the pure interpolant first (a tiny jitter is retried automatically on
+// failure).
+func SolveExact(k kernel.Func, x, y *mat.Dense, jitter float64) (*Model, error) {
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("core: SolveExact %d samples with %d targets", x.Rows, y.Rows)
+	}
+	g := kernel.Gram(k, x)
+	n := x.Rows
+	for attempt := 0; attempt < 6; attempt++ {
+		if jitter > 0 {
+			for i := 0; i < n; i++ {
+				g.Set(i, i, g.At(i, i)+jitter)
+			}
+		}
+		l, err := mat.Cholesky(g)
+		if err == nil {
+			m := NewModel(k, x, y.Cols)
+			m.Alpha = mat.CholeskySolveMat(l, y)
+			return m, nil
+		}
+		// Escalate jitter and retry on numerically singular Gram matrices.
+		if jitter == 0 {
+			jitter = 1e-12
+		} else {
+			// Remove the jitter we already added before scaling it up, to
+			// keep the total close to the new value.
+			for i := 0; i < n; i++ {
+				g.Set(i, i, g.At(i, i)-jitter)
+			}
+			jitter *= 100
+		}
+	}
+	return nil, fmt.Errorf("core: SolveExact: Gram matrix not positive definite even with jitter")
+}

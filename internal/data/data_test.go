@@ -1,0 +1,203 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	d := Generate(GenConfig{Name: "t", N: 120, Dim: 30, Classes: 4, Seed: 1})
+	if d.N() != 120 || d.Dim() != 30 || d.Classes != 4 || d.LabelDim() != 4 {
+		t.Fatalf("shapes: n=%d dim=%d classes=%d l=%d", d.N(), d.Dim(), d.Classes, d.LabelDim())
+	}
+	if len(d.Labels) != 120 {
+		t.Fatalf("labels len %d", len(d.Labels))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Name: "t", N: 50, Dim: 10, Classes: 3, Seed: 7})
+	b := Generate(GenConfig{Name: "t", N: 50, Dim: 10, Classes: 3, Seed: 7})
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same seed must give identical data")
+		}
+	}
+	c := Generate(GenConfig{Name: "t", N: 50, Dim: 10, Classes: 3, Seed: 8})
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != c.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestGenerateAllClassesPresent(t *testing.T) {
+	d := Generate(GenConfig{Name: "t", N: 40, Dim: 8, Classes: 5, Seed: 2})
+	seen := make(map[int]int)
+	for _, c := range d.Labels {
+		seen[c]++
+	}
+	if len(seen) != 5 {
+		t.Fatalf("only %d classes present, want 5", len(seen))
+	}
+	// Round-robin assignment keeps classes balanced within 1.
+	for c, cnt := range seen {
+		if cnt < 40/5 {
+			t.Fatalf("class %d has %d samples", c, cnt)
+		}
+	}
+}
+
+func TestRange01Normalization(t *testing.T) {
+	d := Generate(GenConfig{Name: "t", N: 200, Dim: 12, Classes: 2, Range01: true, Seed: 3})
+	for _, v := range d.X.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("feature %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestZScoreNormalization(t *testing.T) {
+	d := Generate(GenConfig{Name: "t", N: 500, Dim: 6, Classes: 2, Seed: 4})
+	for j := 0; j < 6; j++ {
+		mean, sq := 0.0, 0.0
+		for i := 0; i < 500; i++ {
+			v := d.X.At(i, j)
+			mean += v
+			sq += v * v
+		}
+		mean /= 500
+		sq /= 500
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("column %d mean %v, want ~0", j, mean)
+		}
+		if math.Abs(sq-mean*mean-1) > 1e-9 {
+			t.Fatalf("column %d variance %v, want ~1", j, sq-mean*mean)
+		}
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	y := OneHot([]int{0, 2, 1}, 3)
+	want := [][]float64{{1, 0, 0}, {0, 0, 1}, {0, 1, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if y.At(i, j) != want[i][j] {
+				t.Fatalf("OneHot[%d][%d] = %v", i, j, y.At(i, j))
+			}
+		}
+	}
+}
+
+func TestOneHotOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OneHot([]int{3}, 3)
+}
+
+func TestSubset(t *testing.T) {
+	d := Generate(GenConfig{Name: "t", N: 20, Dim: 4, Classes: 2, Seed: 5})
+	s := d.Subset([]int{3, 7, 11})
+	if s.N() != 3 {
+		t.Fatalf("subset n = %d", s.N())
+	}
+	for k, i := range []int{3, 7, 11} {
+		if s.Labels[k] != d.Labels[i] {
+			t.Fatal("subset labels wrong")
+		}
+		for j := 0; j < 4; j++ {
+			if s.X.At(k, j) != d.X.At(i, j) {
+				t.Fatal("subset features wrong")
+			}
+		}
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	d := Generate(GenConfig{Name: "t", N: 100, Dim: 5, Classes: 2, Seed: 6})
+	train, test := d.Split(0.8, 9)
+	if train.N() != 80 || test.N() != 20 {
+		t.Fatalf("split sizes %d/%d", train.N(), test.N())
+	}
+	// Same seed: deterministic.
+	train2, _ := d.Split(0.8, 9)
+	for i := range train.X.Data {
+		if train.X.Data[i] != train2.X.Data[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestSplitBadFractionPanics(t *testing.T) {
+	d := Generate(GenConfig{Name: "t", N: 10, Dim: 2, Classes: 2, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Split(0, 1)
+}
+
+func TestPresetsShapes(t *testing.T) {
+	cases := []struct {
+		d       *Dataset
+		dim, cl int
+		range01 bool
+	}{
+		{MNISTLike(30, 1), 784, 10, true},
+		{CIFAR10Like(30, 1), 1024, 10, true},
+		{SVHNLike(30, 1), 1024, 10, true},
+		{TIMITLike(96, 1), 440, 48, false},
+		{SUSYLike(30, 1), 18, 2, false},
+		{ImageNetFeaturesLike(100, 1), 256, 50, false},
+	}
+	for _, c := range cases {
+		if c.d.Dim() != c.dim || c.d.Classes != c.cl {
+			t.Fatalf("%s: dim=%d classes=%d, want %d/%d", c.d.Name, c.d.Dim(), c.d.Classes, c.dim, c.cl)
+		}
+		if c.range01 {
+			for _, v := range c.d.X.Data {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: feature %v outside [0,1]", c.d.Name, v)
+				}
+			}
+		}
+	}
+}
+
+// Property: one-hot rows sum to exactly 1.
+func TestQuickOneHotRowSums(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		classes := 5
+		labels := make([]int, len(raw))
+		for i, r := range raw {
+			labels[i] = int(r) % classes
+		}
+		y := OneHot(labels, classes)
+		for i := 0; i < y.Rows; i++ {
+			s := 0.0
+			for _, v := range y.RowView(i) {
+				s += v
+			}
+			if s != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

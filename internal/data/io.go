@@ -1,0 +1,215 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eigenpro/internal/mat"
+)
+
+// This file implements the interchange formats a downstream user needs to
+// bring real data to the library: dense CSV (label in the first column)
+// and the sparse LibSVM/SVMLight format used by the datasets the paper
+// evaluates on (SUSY and friends ship in it).
+
+// WriteCSV writes the dataset as comma-separated rows, label first, one
+// sample per line.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < ds.N(); i++ {
+		if _, err := fmt.Fprintf(bw, "%d", ds.Labels[i]); err != nil {
+			return err
+		}
+		for _, v := range ds.X.RowView(i) {
+			if _, err := fmt.Fprintf(bw, ",%g", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses label-first CSV rows into a dataset named name. All rows
+// must have the same column count; labels must be non-negative integers.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var rows [][]float64
+	var labels []int
+	width := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if width == -1 {
+			width = len(fields)
+			if width < 2 {
+				return nil, fmt.Errorf("data: csv line %d: need label plus at least one feature", line)
+			}
+		} else if len(fields) != width {
+			return nil, fmt.Errorf("data: csv line %d: %d fields, want %d", line, len(fields), width)
+		}
+		label, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil || label < 0 {
+			return nil, fmt.Errorf("data: csv line %d: bad label %q", line, fields[0])
+		}
+		row := make([]float64, width-1)
+		for j, f := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: csv line %d: bad value %q", line, f)
+			}
+			row[j] = v
+		}
+		labels = append(labels, label)
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: csv read: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("data: csv: no rows")
+	}
+	return fromRows(name, rows, labels)
+}
+
+// WriteLibSVM writes the dataset in LibSVM/SVMLight sparse format:
+// "label index:value index:value ..." with 1-based feature indices; zero
+// features are omitted.
+func WriteLibSVM(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < ds.N(); i++ {
+		if _, err := fmt.Fprintf(bw, "%d", ds.Labels[i]); err != nil {
+			return err
+		}
+		for j, v := range ds.X.RowView(i) {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, " %d:%g", j+1, v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLibSVM parses LibSVM/SVMLight sparse rows into a dense dataset named
+// name. The feature dimension is the largest index seen (or dim, if
+// larger; pass 0 to infer).
+func ReadLibSVM(r io.Reader, name string, dim int) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	type sparseRow struct {
+		label int
+		idx   []int
+		val   []float64
+	}
+	var rows []sparseRow
+	maxIdx := dim
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		label, err := strconv.Atoi(fields[0])
+		if err != nil || label < 0 {
+			return nil, fmt.Errorf("data: libsvm line %d: bad label %q", line, fields[0])
+		}
+		row := sparseRow{label: label}
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon <= 0 {
+				return nil, fmt.Errorf("data: libsvm line %d: bad pair %q", line, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("data: libsvm line %d: bad index %q", line, f[:colon])
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: libsvm line %d: bad value %q", line, f[colon+1:])
+			}
+			row.idx = append(row.idx, idx)
+			row.val = append(row.val, v)
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: libsvm read: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("data: libsvm: no rows")
+	}
+	x := mat.NewDense(len(rows), maxIdx)
+	labels := make([]int, len(rows))
+	for i, row := range rows {
+		labels[i] = row.label
+		dst := x.RowView(i)
+		for k, idx := range row.idx {
+			dst[idx-1] = row.val[k]
+		}
+	}
+	return fromDense(name, x, labels)
+}
+
+// fromRows assembles a dataset from parsed dense rows.
+func fromRows(name string, rows [][]float64, labels []int) (*Dataset, error) {
+	x := mat.NewDense(len(rows), len(rows[0]))
+	for i, row := range rows {
+		copy(x.RowView(i), row)
+	}
+	return fromDense(name, x, labels)
+}
+
+// fromDense assembles a dataset, remapping labels to a dense 0..C-1 range
+// while preserving order.
+func fromDense(name string, x *mat.Dense, labels []int) (*Dataset, error) {
+	distinct := map[int]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	if len(distinct) < 2 {
+		return nil, fmt.Errorf("data: dataset %q has %d distinct labels, need >= 2", name, len(distinct))
+	}
+	ordered := make([]int, 0, len(distinct))
+	for l := range distinct {
+		ordered = append(ordered, l)
+	}
+	sort.Ints(ordered)
+	remap := make(map[int]int, len(ordered))
+	for i, l := range ordered {
+		remap[l] = i
+	}
+	mapped := make([]int, len(labels))
+	for i, l := range labels {
+		mapped[i] = remap[l]
+	}
+	return &Dataset{
+		Name:    name,
+		X:       x,
+		Labels:  mapped,
+		Classes: len(ordered),
+		Y:       OneHot(mapped, len(ordered)),
+	}, nil
+}

@@ -1,0 +1,140 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := Generate(GenConfig{Name: "rt", N: 40, Dim: 6, Classes: 3, Seed: 81})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.Dim() != ds.Dim() || back.Classes != ds.Classes {
+		t.Fatalf("shape changed: %dx%d/%d vs %dx%d/%d",
+			back.N(), back.Dim(), back.Classes, ds.N(), ds.Dim(), ds.Classes)
+	}
+	for i := 0; i < ds.N(); i++ {
+		if back.Labels[i] != ds.Labels[i] {
+			t.Fatalf("label %d changed", i)
+		}
+		for j := 0; j < ds.Dim(); j++ {
+			// %g formatting is exact for float64 round trip.
+			if back.X.At(i, j) != ds.X.At(i, j) {
+				t.Fatalf("value (%d,%d) changed: %v vs %v", i, j, back.X.At(i, j), ds.X.At(i, j))
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"one field":      "1\n",
+		"ragged":         "1,2,3\n0,4\n",
+		"bad label":      "x,1,2\n",
+		"negative label": "-1,1,2\n",
+		"bad value":      "1,abc,2\n",
+		"single class":   "1,0.5,0.5\n1,0.1,0.2\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadCSV(strings.NewReader(text), "t"); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("0,1.5\n\n1,2.5\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 {
+		t.Fatalf("n = %d, want 2", ds.N())
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	ds := Generate(GenConfig{Name: "rt", N: 30, Dim: 8, Classes: 2, Seed: 83})
+	// Introduce exact zeros to exercise sparsity.
+	for i := 0; i < ds.N(); i++ {
+		ds.X.Set(i, 3, 0)
+	}
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLibSVM(&buf, "rt", ds.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.Dim() != ds.Dim() {
+		t.Fatalf("shape changed: %dx%d", back.N(), back.Dim())
+	}
+	for i := 0; i < ds.N(); i++ {
+		if back.Labels[i] != ds.Labels[i] {
+			t.Fatalf("label %d changed", i)
+		}
+		for j := 0; j < ds.Dim(); j++ {
+			if back.X.At(i, j) != ds.X.At(i, j) {
+				t.Fatalf("value (%d,%d) changed", i, j)
+			}
+		}
+	}
+}
+
+func TestReadLibSVMInfersDim(t *testing.T) {
+	text := "0 1:0.5 7:1.25\n1 2:-3\n# comment\n"
+	ds, err := ReadLibSVM(strings.NewReader(text), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dim() != 7 {
+		t.Fatalf("dim = %d, want 7", ds.Dim())
+	}
+	if ds.X.At(0, 6) != 1.25 || ds.X.At(1, 1) != -3 {
+		t.Fatal("sparse values misplaced")
+	}
+	if ds.X.At(0, 1) != 0 {
+		t.Fatal("missing entries must be zero")
+	}
+}
+
+func TestReadLibSVMErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad label": "x 1:2\n",
+		"bad pair":  "0 nocolon\n",
+		"bad index": "0 0:1\n1 1:2\n",
+		"bad value": "0 1:xyz\n1 1:2\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadLibSVM(strings.NewReader(text), "t", 0); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLabelRemappingIsDense(t *testing.T) {
+	// Labels 5 and 9 must remap to 0 and 1 preserving order.
+	text := "5 1:1\n9 1:2\n5 1:3\n"
+	ds, err := ReadLibSVM(strings.NewReader(text), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != 2 {
+		t.Fatalf("classes = %d", ds.Classes)
+	}
+	want := []int{0, 1, 0}
+	for i, w := range want {
+		if ds.Labels[i] != w {
+			t.Fatalf("labels = %v, want %v", ds.Labels, want)
+		}
+	}
+}

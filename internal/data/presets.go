@@ -1,0 +1,72 @@
+package data
+
+// Preset generators matched to the datasets in the paper's §5. Each doc
+// comment records the original dataset scale; sample counts here are
+// arguments so experiments can run at a tractable scale and record it.
+
+// MNISTLike mimics MNIST (paper: 6×10^4 to 6.7×10^6 samples, 784 grayscale
+// features in [0,1], 10 classes): 784 dims, 10 classes, image-style [0,1]
+// normalization, moderately fast spectral decay.
+func MNISTLike(n int, seed int64) *Dataset {
+	return Generate(GenConfig{
+		Name: "mnist-like", N: n, Dim: 784, Classes: 10,
+		LatentDim: 16, ClustersPerClass: 2, ClusterSpread: 0.3,
+		Decay: 1.2, Noise: 0.03, Range01: true, Seed: seed,
+	})
+}
+
+// CIFAR10Like mimics grayscale CIFAR-10 (paper: 5×10^4 samples, 1024
+// features in [0,1], 10 classes) with more intra-class variation than
+// MNIST.
+func CIFAR10Like(n int, seed int64) *Dataset {
+	return Generate(GenConfig{
+		Name: "cifar10-like", N: n, Dim: 1024, Classes: 10,
+		LatentDim: 24, ClustersPerClass: 3, ClusterSpread: 0.55,
+		Decay: 0.9, Noise: 0.08, Range01: true, Seed: seed,
+	})
+}
+
+// SVHNLike mimics grayscale SVHN (paper: 7×10^4 samples, 1024 features in
+// [0,1], 10 classes).
+func SVHNLike(n int, seed int64) *Dataset {
+	return Generate(GenConfig{
+		Name: "svhn-like", N: n, Dim: 1024, Classes: 10,
+		LatentDim: 20, ClustersPerClass: 2, ClusterSpread: 0.5,
+		Decay: 1.0, Noise: 0.06, Range01: true, Seed: seed,
+	})
+}
+
+// TIMITLike mimics TIMIT frames (paper: 1.1-2×10^6 samples, 440 z-scored
+// acoustic features, 144 one-hot phone targets). We keep d=440 and z-score
+// normalization but shrink the label space to 48 phone classes (the
+// standard folded TIMIT set) to keep one-hot regression tractable.
+func TIMITLike(n int, seed int64) *Dataset {
+	return Generate(GenConfig{
+		Name: "timit-like", N: n, Dim: 440, Classes: 48,
+		LatentDim: 32, ClustersPerClass: 2, ClusterSpread: 0.45,
+		Decay: 0.8, Noise: 0.1, Range01: false, Seed: seed,
+	})
+}
+
+// SUSYLike mimics SUSY (paper: 4-6×10^6 samples, 18 physics features,
+// binary labels).
+func SUSYLike(n int, seed int64) *Dataset {
+	return Generate(GenConfig{
+		Name: "susy-like", N: n, Dim: 18, Classes: 2,
+		LatentDim: 10, ClustersPerClass: 4, ClusterSpread: 0.7,
+		Decay: 0.5, Noise: 0.15, Range01: false, Seed: seed,
+	})
+}
+
+// ImageNetFeaturesLike mimics the paper's ImageNet setup: 1.3×10^6 samples
+// of Inception-ResNet-v2 convolutional features reduced to the top
+// 500 PCA components, 1000 classes. We generate 256-dim dense features and
+// 50 classes, preserving the "well-separated deep features, many classes"
+// regime.
+func ImageNetFeaturesLike(n int, seed int64) *Dataset {
+	return Generate(GenConfig{
+		Name: "imagenet-feat-like", N: n, Dim: 256, Classes: 50,
+		LatentDim: 40, ClustersPerClass: 1, ClusterSpread: 0.25,
+		Decay: 0.7, Noise: 0.05, Range01: false, Seed: seed,
+	})
+}

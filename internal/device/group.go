@@ -1,0 +1,62 @@
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// GroupOptions configures NewGroup.
+type GroupOptions struct {
+	// SyncOverhead is the fixed per-iteration cost of synchronizing the
+	// devices (gradient exchange / allreduce latency). It adds to the
+	// group's LaunchOverhead.
+	SyncOverhead time.Duration
+	// ScalingEfficiency in (0,1] discounts the aggregate parallel capacity
+	// for interconnect bandwidth limits; 1 means perfect scaling.
+	// Default 0.9.
+	ScalingEfficiency float64
+}
+
+// NewGroup composes count identical devices into a single data-parallel
+// resource, the multi-GPU extension sketched in the paper's §6 ("Going
+// beyond that ... using multi-GPU setups is the next natural step").
+//
+// Under synchronous data parallelism a mini-batch is split evenly across
+// the devices, so the aggregate parallel capacity is (nearly) the sum of
+// the members' and the usable memory for the batch-dependent working set
+// grows likewise, while every iteration pays an extra synchronization
+// cost. The returned Device plugs into the existing batch-size selection:
+// m_max grows roughly ×count, and the adaptive kernel responds with a
+// deeper q — resource adaptivity across device counts, not just device
+// sizes.
+func NewGroup(base *Device, count int, opt GroupOptions) (*Device, error) {
+	if base == nil {
+		return nil, fmt.Errorf("device: NewGroup with nil base device")
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("device: NewGroup count %d < 1", count)
+	}
+	eff := opt.ScalingEfficiency
+	if eff == 0 {
+		eff = 0.9
+	}
+	if eff <= 0 || eff > 1 {
+		return nil, fmt.Errorf("device: NewGroup efficiency %v out of (0,1]", eff)
+	}
+	scale := 1 + float64(count-1)*eff
+	g := *base
+	g.Name = fmt.Sprintf("%s-x%d", base.Name, count)
+	g.ParallelOps = base.ParallelOps * scale
+	// Each device replicates the training data and model (the n·(d+l)
+	// term) but the m·n batch working set shards, so aggregate memory
+	// scales with the batch share each member holds. Conservatively grant
+	// the summed memory discounted by the replication of the base working
+	// set: S_group = count·S − (count−1)·0 handled by callers; we expose
+	// the summed capacity, which is exact for the sharded m·n term and
+	// optimistic for the replicated d,l terms.
+	g.MemoryFloats = base.MemoryFloats * int64(count)
+	if count > 1 {
+		g.LaunchOverhead = base.LaunchOverhead + opt.SyncOverhead
+	}
+	return &g, nil
+}

@@ -1,0 +1,82 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewGroupErrors(t *testing.T) {
+	if _, err := NewGroup(nil, 2, GroupOptions{}); err == nil {
+		t.Fatal("nil base must error")
+	}
+	if _, err := NewGroup(testDevice(), 0, GroupOptions{}); err == nil {
+		t.Fatal("count 0 must error")
+	}
+	if _, err := NewGroup(testDevice(), 2, GroupOptions{ScalingEfficiency: 1.5}); err == nil {
+		t.Fatal("efficiency > 1 must error")
+	}
+}
+
+func TestNewGroupSingleIsIdentity(t *testing.T) {
+	base := testDevice()
+	g, err := NewGroup(base, 1, GroupOptions{SyncOverhead: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ParallelOps != base.ParallelOps || g.MemoryFloats != base.MemoryFloats {
+		t.Fatal("single-device group must match base capacity")
+	}
+	if g.LaunchOverhead != base.LaunchOverhead {
+		t.Fatal("single-device group must pay no sync overhead")
+	}
+}
+
+func TestNewGroupScalesCapacity(t *testing.T) {
+	base := testDevice()
+	g4, err := NewGroup(base, 4, GroupOptions{ScalingEfficiency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.ParallelOps != 4*base.ParallelOps {
+		t.Fatalf("perfect scaling: ops = %v, want %v", g4.ParallelOps, 4*base.ParallelOps)
+	}
+	if g4.MemoryFloats != 4*base.MemoryFloats {
+		t.Fatalf("memory = %v, want %v", g4.MemoryFloats, 4*base.MemoryFloats)
+	}
+	if g4.Name != "test-x4" {
+		t.Fatalf("name = %q", g4.Name)
+	}
+	// Imperfect scaling discounts the added devices only.
+	g2, err := NewGroup(base, 2, GroupOptions{ScalingEfficiency: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.ParallelOps != 1.5*base.ParallelOps {
+		t.Fatalf("ops = %v, want 1.5x", g2.ParallelOps)
+	}
+}
+
+func TestNewGroupSyncOverhead(t *testing.T) {
+	base := testDevice()
+	g, err := NewGroup(base, 2, GroupOptions{SyncOverhead: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LaunchOverhead != base.LaunchOverhead+time.Millisecond {
+		t.Fatalf("overhead = %v", g.LaunchOverhead)
+	}
+}
+
+func TestGroupRaisesMaxBatch(t *testing.T) {
+	base := testDevice()
+	n, d, l := 100, 90, 10
+	single := base.MaxBatch(n, d, l)
+	g, err := NewGroup(base, 4, GroupOptions{ScalingEfficiency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := g.MaxBatch(n, d, l)
+	if grouped <= single && single < n {
+		t.Fatalf("group m_max %d not above single %d", grouped, single)
+	}
+}

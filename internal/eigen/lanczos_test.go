@@ -1,0 +1,117 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eigenpro/internal/mat"
+)
+
+func TestLanczosMatchesFullSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for _, n := range []int{10, 40, 100} {
+		a := randPSD(rng, n)
+		full, err := Sym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := 5
+		// Random Wishart spectra have small eigengaps; give the Krylov
+		// space room to resolve the 5th Ritz vector.
+		lz, err := Lanczos(a, q, LanczosOptions{Seed: 1, Steps: n/2 + 2*q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lz.Values) != q {
+			t.Fatalf("got %d values", len(lz.Values))
+		}
+		for i := 0; i < q; i++ {
+			rel := math.Abs(lz.Values[i]-full.Values[i]) / (1 + math.Abs(full.Values[i]))
+			if rel > 1e-6 {
+				t.Fatalf("n=%d eigenvalue %d: lanczos %v vs full %v", n, i, lz.Values[i], full.Values[i])
+			}
+		}
+		checkSystem(t, a, lz, 1e-4*float64(n))
+	}
+}
+
+func TestLanczosThreeWayAgreement(t *testing.T) {
+	// Sym (QL), TopQSym (subspace iteration) and Lanczos are independent
+	// algorithms; all three must agree on the leading spectrum.
+	rng := rand.New(rand.NewSource(91))
+	a := randPSD(rng, 60)
+	q := 4
+	s1, err := Sym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := TopQSym(a, q, TopQOptions{Iters: 40, Oversample: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Lanczos(a, q, LanczosOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < q; i++ {
+		ref := s1.Values[i]
+		if math.Abs(s2.Values[i]-ref) > 1e-5*(1+ref) || math.Abs(s3.Values[i]-ref) > 1e-5*(1+ref) {
+			t.Fatalf("eigenvalue %d disagreement: QL %v, subspace %v, lanczos %v",
+				i, ref, s2.Values[i], s3.Values[i])
+		}
+	}
+}
+
+func TestLanczosInvariantSubspaceEarlyStop(t *testing.T) {
+	// A rank-2 matrix collapses the Krylov basis after ~2 steps; asking
+	// for 2 eigenpairs must still work.
+	rng := rand.New(rand.NewSource(92))
+	u := mat.NewDense(30, 2)
+	for i := range u.Data {
+		u.Data[i] = rng.NormFloat64()
+	}
+	a := mat.MulT(u, u)
+	lz, err := Lanczos(a, 2, LanczosOptions{Seed: 4, Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Sym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if math.Abs(lz.Values[i]-full.Values[i]) > 1e-7*(1+full.Values[i]) {
+			t.Fatalf("rank-2 eigenvalue %d: %v vs %v", i, lz.Values[i], full.Values[i])
+		}
+	}
+}
+
+func TestLanczosErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	a := randPSD(rng, 10)
+	if _, err := Lanczos(mat.NewDense(2, 3), 1, LanczosOptions{}); err == nil {
+		t.Fatal("non-square must error")
+	}
+	if _, err := Lanczos(a, 0, LanczosOptions{}); err == nil {
+		t.Fatal("q=0 must error")
+	}
+	if _, err := Lanczos(a, 11, LanczosOptions{}); err == nil {
+		t.Fatal("q>n must error")
+	}
+	if _, err := Lanczos(a, 5, LanczosOptions{Steps: 3}); err == nil {
+		t.Fatal("steps<q must error")
+	}
+}
+
+func TestLanczosDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	a := randPSD(rng, 25)
+	s1, _ := Lanczos(a, 3, LanczosOptions{Seed: 5})
+	s2, _ := Lanczos(a, 3, LanczosOptions{Seed: 5})
+	for i := range s1.Values {
+		if s1.Values[i] != s2.Values[i] {
+			t.Fatal("Lanczos not deterministic for fixed seed")
+		}
+	}
+}

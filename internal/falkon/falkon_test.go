@@ -1,0 +1,186 @@
+package falkon
+
+import (
+	"math"
+	"testing"
+
+	"eigenpro/internal/data"
+	"eigenpro/internal/device"
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+	"eigenpro/internal/metrics"
+)
+
+func testDataset(n int) *data.Dataset {
+	return data.Generate(data.GenConfig{
+		Name: "test", N: n, Dim: 20, Classes: 4, LatentDim: 6, Seed: 77,
+	})
+}
+
+func fitConfig() Config {
+	return Config{
+		Kernel:  kernel.Gaussian{Sigma: 4},
+		Centers: 120,
+		Lambda:  1e-6,
+		Iters:   30,
+		Seed:    3,
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	ds := testDataset(50)
+	if _, err := Fit(Config{Centers: 10}, ds.X, ds.Y); err == nil {
+		t.Fatal("missing kernel must error")
+	}
+	cfg := fitConfig()
+	cfg.Centers = 1
+	if _, err := Fit(cfg, ds.X, ds.Y); err == nil {
+		t.Fatal("centers=1 must error")
+	}
+	cfg = fitConfig()
+	cfg.Centers = 100
+	if _, err := Fit(cfg, ds.X, ds.Y); err == nil {
+		t.Fatal("centers>n must error")
+	}
+	if _, err := Fit(fitConfig(), ds.X, mat.NewDense(10, 2)); err == nil {
+		t.Fatal("row mismatch must error")
+	}
+}
+
+func TestFitClassifiesSeparableData(t *testing.T) {
+	ds := testDataset(600)
+	train, test := ds.Split(0.8, 1)
+	cfg := fitConfig()
+	res, err := Fit(cfg, train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRate := metrics.ClassificationError(res.Model.Predict(test.X), test.Labels)
+	if errRate > 0.1 {
+		t.Fatalf("test error %v too high for separable data", errRate)
+	}
+	if res.WallTime <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+}
+
+// With M = n centers and λ → 0, FALKON approaches the exact kernel
+// interpolant: compare its CG solution to the directly solved normal
+// equations.
+func TestFitMatchesDirectSolve(t *testing.T) {
+	ds := testDataset(120)
+	k := kernel.Gaussian{Sigma: 4}
+	cfg := Config{Kernel: k, Centers: 120, Lambda: 1e-7, Iters: 200, Seed: 5}
+	res, err := Fit(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct solve: H β = K_nmᵀ y.
+	knm := kernel.Matrix(k, ds.X, res.Model.Centers)
+	kmm := kernel.Gram(k, res.Model.Centers)
+	h := mat.TMul(knm, knm)
+	lamN := cfg.Lambda * float64(ds.N())
+	for i := 0; i < h.Rows; i++ {
+		for j := 0; j < h.Cols; j++ {
+			h.Set(i, j, h.At(i, j)+lamN*kmm.At(i, j))
+		}
+		h.Set(i, i, h.At(i, i)+1e-8)
+	}
+	l, err := mat.Cholesky(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := mat.CholeskySolveMat(l, mat.TMul(knm, ds.Y))
+	// Compare predictions (coefficients can differ along near-null
+	// directions without affecting the function).
+	probe := testDataset(50).X
+	pa := res.Model.Predict(probe)
+	directModel := &Model{Kern: k, Centers: res.Model.Centers, Beta: direct}
+	pb := directModel.Predict(probe)
+	if mse := metrics.MSE(pa, pb); mse > 1e-6 {
+		t.Fatalf("CG solution deviates from direct solve: mse %v", mse)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	ds := testDataset(200)
+	a, err := Fit(fitConfig(), ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(fitConfig(), ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Model.Beta.Data {
+		if a.Model.Beta.Data[i] != b.Model.Beta.Data[i] {
+			t.Fatal("FALKON not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestFitChargesDevice(t *testing.T) {
+	ds := testDataset(200)
+	cfg := fitConfig()
+	cfg.Device = device.SimTitanXp()
+	res, err := Fit(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimTime <= 0 {
+		t.Fatal("device time not charged")
+	}
+}
+
+func TestMoreCentersImproveFit(t *testing.T) {
+	ds := testDataset(500)
+	train, test := ds.Split(0.8, 2)
+	run := func(centers int) float64 {
+		cfg := fitConfig()
+		cfg.Centers = centers
+		res, err := Fit(cfg, train.X, train.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.MSE(res.Model.Predict(test.X), test.Y)
+	}
+	small := run(10)
+	large := run(200)
+	if large > small {
+		t.Fatalf("more centers worsened test MSE: %v (M=10) vs %v (M=200)", small, large)
+	}
+}
+
+func TestPredictLabels(t *testing.T) {
+	ds := testDataset(300)
+	res, err := Fit(fitConfig(), ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := res.Model.PredictLabels(ds.X)
+	if len(labels) != ds.N() {
+		t.Fatalf("got %d labels", len(labels))
+	}
+	wrong := 0
+	for i, l := range labels {
+		if l != ds.Labels[i] {
+			wrong++
+		}
+	}
+	if frac := float64(wrong) / float64(len(labels)); frac > 0.05 {
+		t.Fatalf("train error %v too high", frac)
+	}
+}
+
+func TestConjugateGradientSolvesSPD(t *testing.T) {
+	// 3x3 SPD system with known solution.
+	a := mat.NewDenseData(3, 3, []float64{4, 1, 0, 1, 3, 1, 0, 1, 2})
+	want := []float64{1, -2, 3}
+	rhs := mat.MulVec(a, want)
+	got := conjugateGradient(func(v []float64) []float64 { return mat.MulVec(a, v) }, rhs, 50)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("cg[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eigenpro/internal/eigen"
+)
+
+func maternKernels() []Radial {
+	return []Radial{Matern32{Sigma: 2}, Matern52{Sigma: 2}}
+}
+
+func TestMaternNormalizationAndSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for _, k := range maternKernels() {
+		x := []float64{1, -2, 0.5}
+		if got := k.Eval(x, x); got != 1 {
+			t.Fatalf("%s: k(x,x) = %v", k.Name(), got)
+		}
+		for trial := 0; trial < 30; trial++ {
+			a := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			b := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			if k.Eval(a, b) != k.Eval(b, a) {
+				t.Fatalf("%s not symmetric", k.Name())
+			}
+			v := k.Eval(a, b)
+			if v <= 0 || v > 1 {
+				t.Fatalf("%s out of (0,1]: %v", k.Name(), v)
+			}
+		}
+	}
+}
+
+func TestMaternKnownValues(t *testing.T) {
+	// At r = σ: matern32 = (1+√3)e^{−√3}, matern52 = (1+√5+5/3)e^{−√5}.
+	m32 := Matern32{Sigma: 2}
+	want32 := (1 + math.Sqrt(3)) * math.Exp(-math.Sqrt(3))
+	if got := m32.Eval([]float64{0}, []float64{2}); math.Abs(got-want32) > 1e-15 {
+		t.Fatalf("matern32 = %v, want %v", got, want32)
+	}
+	m52 := Matern52{Sigma: 2}
+	want52 := (1 + math.Sqrt(5) + 5.0/3) * math.Exp(-math.Sqrt(5))
+	if got := m52.Eval([]float64{0}, []float64{2}); math.Abs(got-want52) > 1e-15 {
+		t.Fatalf("matern52 = %v, want %v", got, want52)
+	}
+}
+
+func TestMaternNames(t *testing.T) {
+	if (Matern32{Sigma: 2}).Name() != "matern32(σ=2)" {
+		t.Fatal("matern32 name wrong")
+	}
+	if (Matern52{Sigma: 3}).Name() != "matern52(σ=3)" {
+		t.Fatal("matern52 name wrong")
+	}
+}
+
+func TestMaternGramPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	x := randX(rng, 20, 4)
+	for _, k := range maternKernels() {
+		g := Gram(k, x)
+		s, err := eigen.Sym(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range s.Values {
+			if v < -1e-9 {
+				t.Fatalf("%s: negative eigenvalue %v", k.Name(), v)
+			}
+		}
+	}
+}
+
+func TestMaternSmoothnessOrdering(t *testing.T) {
+	// At moderate distances the smoother kernel (higher ν) decays faster
+	// near 0 curvature-wise but all stay between Laplacian and Gaussian
+	// with matched length scales at large distance. Check the monotone
+	// decrease property instead, which is what training relies on.
+	f := func(d1, d2 float64) bool {
+		a, b := math.Abs(d1), math.Abs(d2)
+		if a > b {
+			a, b = b, a
+		}
+		for _, k := range maternKernels() {
+			if k.OfSqDist(a) < k.OfSqDist(b)-1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaternMatrixFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	a := randX(rng, 8, 3)
+	b := randX(rng, 5, 3)
+	for _, k := range maternKernels() {
+		m := Matrix(k, a, b)
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 5; j++ {
+				want := k.Eval(a.RowView(i), b.RowView(j))
+				if math.Abs(m.At(i, j)-want) > 1e-12 {
+					t.Fatalf("%s: matrix path mismatch", k.Name())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when a pivot is not
+// positive, i.e. the input matrix is not (numerically) positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L Lᵀ for a
+// symmetric positive definite matrix A. Only the lower triangle of A is
+// read. It returns ErrNotPositiveDefinite if a non-positive pivot is
+// encountered.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("mat: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lrowj := l.RowView(j)
+		for p := 0; p < j; p++ {
+			d -= lrowj[p] * lrowj[p]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		diag := math.Sqrt(d)
+		lrowj[j] = diag
+		inv := 1.0 / diag
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.RowView(i)
+			for p := 0; p < j; p++ {
+				s -= lrowi[p] * lrowj[p]
+			}
+			lrowi[j] = s * inv
+		}
+	}
+	return l, nil
+}
+
+// SolveLowerTri solves L*x = b for x where L is lower triangular
+// (forward substitution). b is not modified.
+func SolveLowerTri(l *Dense, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveLowerTri: rhs length %d for %dx%d", len(b), l.Rows, l.Cols))
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.RowView(i)
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// SolveUpperTriFromLowerT solves Lᵀ*x = b by back substitution given the
+// lower factor L (so the effective system matrix is upper triangular).
+func SolveUpperTriFromLowerT(l *Dense, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveUpperTriFromLowerT: rhs length %d for %dx%d", len(b), l.Rows, l.Cols))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// CholeskySolve solves A*x = b given the lower Cholesky factor L of A.
+func CholeskySolve(l *Dense, b []float64) []float64 {
+	return SolveUpperTriFromLowerT(l, SolveLowerTri(l, b))
+}
+
+// CholeskySolveMat solves A*X = B column-by-column given the lower Cholesky
+// factor L of A.
+func CholeskySolveMat(l *Dense, b *Dense) *Dense {
+	if l.Rows != b.Rows {
+		panic(dimErr("CholeskySolveMat", l, b))
+	}
+	out := NewDense(b.Rows, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		out.SetCol(j, CholeskySolve(l, b.Col(j)))
+	}
+	return out
+}
+
+// QRThin computes a thin QR factorization of an m x n matrix with m >= n
+// using modified Gram-Schmidt with one reorthogonalization pass: a = q*r
+// where q is m x n with orthonormal columns and r is n x n upper triangular.
+// Rank-deficient columns receive a zero r diagonal and a zero q column.
+func QRThin(a *Dense) (q, r *Dense) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("mat: QRThin needs rows >= cols, got %dx%d", m, n))
+	}
+	q = a.Clone()
+	r = NewDense(n, n)
+	for j := 0; j < n; j++ {
+		// Two passes of Gram-Schmidt against previous columns for stability.
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p < j; p++ {
+				s := 0.0
+				for i := 0; i < m; i++ {
+					s += q.At(i, p) * q.At(i, j)
+				}
+				if pass == 0 {
+					r.Set(p, j, r.At(p, j)+s)
+				} else {
+					r.Set(p, j, r.At(p, j)+s)
+				}
+				for i := 0; i < m; i++ {
+					q.Set(i, j, q.At(i, j)-s*q.At(i, p))
+				}
+			}
+		}
+		norm := 0.0
+		for i := 0; i < m; i++ {
+			norm += q.At(i, j) * q.At(i, j)
+		}
+		norm = math.Sqrt(norm)
+		r.Set(j, j, norm)
+		if norm > 1e-300 {
+			inv := 1.0 / norm
+			for i := 0; i < m; i++ {
+				q.Set(i, j, q.At(i, j)*inv)
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				q.Set(i, j, 0)
+			}
+		}
+	}
+	return q, r
+}
+
+// Orthonormalize returns a matrix whose columns orthonormally span the
+// column space of a (the Q factor of QRThin).
+func Orthonormalize(a *Dense) *Dense {
+	q, _ := QRThin(a)
+	return q
+}

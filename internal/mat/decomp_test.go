@@ -1,0 +1,180 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD returns a random symmetric positive definite n x n matrix.
+func randSPD(rng *rand.Rand, n int) *Dense {
+	a := randDense(rng, n, n)
+	spd := MulT(a, a) // A*Aᵀ is PSD
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+float64(n)) // shift to make strictly PD
+	}
+	return spd
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 2, 5, 20, 50} {
+		a := randSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		recon := MulT(l, l)
+		if !Equal(recon, a, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: L*Lᵀ != A", n)
+		}
+		// L must be lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("n=%d: L not lower triangular at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 30
+	a := randSPD(rng, n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := MulVec(a, x)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CholeskySolve(l, b)
+	for i := range got {
+		if math.Abs(got[i]-x[i]) > 1e-7 {
+			t.Fatalf("solve[%d] = %v, want %v", i, got[i], x[i])
+		}
+	}
+}
+
+func TestCholeskySolveMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 15
+	a := randSPD(rng, n)
+	x := randDense(rng, n, 4)
+	b := Mul(a, x)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CholeskySolveMat(l, b)
+	if !Equal(got, x, 1e-7) {
+		t.Fatal("CholeskySolveMat mismatch")
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	l := NewDenseData(3, 3, []float64{2, 0, 0, 1, 3, 0, -1, 2, 4})
+	x := []float64{1, -2, 0.5}
+	b := MulVec(l, x)
+	got := SolveLowerTri(l, b)
+	for i := range got {
+		if math.Abs(got[i]-x[i]) > 1e-12 {
+			t.Fatalf("SolveLowerTri[%d] = %v, want %v", i, got[i], x[i])
+		}
+	}
+	bt := MulVec(l.T(), x)
+	gotT := SolveUpperTriFromLowerT(l, bt)
+	for i := range gotT {
+		if math.Abs(gotT[i]-x[i]) > 1e-12 {
+			t.Fatalf("SolveUpperTriFromLowerT[%d] = %v, want %v", i, gotT[i], x[i])
+		}
+	}
+}
+
+func TestQRThinOrthonormalAndReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, dims := range [][2]int{{5, 5}, {10, 4}, {40, 12}} {
+		a := randDense(rng, dims[0], dims[1])
+		q, r := QRThin(a)
+		// QᵀQ = I
+		qtq := TMul(q, q)
+		if !Equal(qtq, Eye(dims[1]), 1e-10) {
+			t.Fatalf("dims %v: QᵀQ != I", dims)
+		}
+		// QR = A
+		if !Equal(Mul(q, r), a, 1e-10) {
+			t.Fatalf("dims %v: QR != A", dims)
+		}
+		// R upper triangular
+		for i := 0; i < dims[1]; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("dims %v: R not upper triangular", dims)
+				}
+			}
+		}
+	}
+}
+
+func TestQRThinRankDeficient(t *testing.T) {
+	// Second column is a multiple of the first.
+	a := NewDenseData(3, 2, []float64{1, 2, 1, 2, 1, 2})
+	q, r := QRThin(a)
+	if math.Abs(r.At(1, 1)) > 1e-10 {
+		t.Fatalf("rank-deficient column should produce ~0 diagonal, got %v", r.At(1, 1))
+	}
+	if !Equal(Mul(q, r), a, 1e-10) {
+		t.Fatal("QR != A for rank-deficient input")
+	}
+}
+
+func TestOrthonormalizeSpansSameSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randDense(rng, 20, 5)
+	q := Orthonormalize(a)
+	// Projecting A onto span(Q) must reproduce A: Q Qᵀ A == A.
+	proj := Mul(q, TMul(q, a))
+	if !Equal(proj, a, 1e-9) {
+		t.Fatal("Q does not span col(A)")
+	}
+}
+
+// Property: Cholesky solve returns a vector satisfying A x = b.
+func TestQuickCholeskySolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(25)
+		a := randSPD(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x := CholeskySolve(l, b)
+		res := MulVec(a, x)
+		for i := range res {
+			if math.Abs(res[i]-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

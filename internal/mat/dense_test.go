@@ -1,0 +1,207 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	a := NewDense(r, c)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+func TestNewDenseZeroed(t *testing.T) {
+	a := NewDense(3, 4)
+	if a.Rows != 3 || a.Cols != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", a.Rows, a.Cols)
+	}
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatalf("new matrix not zeroed: %v", a.Data)
+		}
+	}
+}
+
+func TestNewDenseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestNewDenseDataWrapsWithoutCopy(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	a := NewDenseData(2, 3, d)
+	a.Set(0, 0, 42)
+	if d[0] != 42 {
+		t.Fatal("NewDenseData must alias the provided slice")
+	}
+	if a.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", a.At(1, 2))
+	}
+}
+
+func TestNewDenseDataLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong data length")
+		}
+	}()
+	NewDenseData(2, 2, []float64{1, 2, 3})
+}
+
+func TestAtSetRowView(t *testing.T) {
+	a := NewDense(2, 3)
+	a.Set(1, 2, 7.5)
+	if got := a.At(1, 2); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	row := a.RowView(1)
+	row[0] = -1
+	if a.At(1, 0) != -1 {
+		t.Fatal("RowView must alias matrix storage")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T dims = %dx%d, want 3x2", at.Rows, at.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeTwiceIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randDense(rng, 5, 7)
+	if !Equal(a, a.T().T(), 0) {
+		t.Fatal("a.T().T() != a")
+	}
+}
+
+func TestEye(t *testing.T) {
+	e := Eye(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e.At(i, j) != want {
+				t.Fatalf("Eye(3)[%d,%d] = %v, want %v", i, j, e.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	a := NewDenseData(4, 2, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	s := a.SliceRows(1, 3)
+	want := NewDenseData(2, 2, []float64{3, 4, 5, 6})
+	if !Equal(s, want, 0) {
+		t.Fatalf("SliceRows = %v, want %v", s, want)
+	}
+	s.Set(0, 0, 99)
+	if a.At(1, 0) == 99 {
+		t.Fatal("SliceRows must copy")
+	}
+}
+
+func TestSelectRowsCols(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	r := a.SelectRows([]int{2, 0})
+	if !Equal(r, NewDenseData(2, 3, []float64{7, 8, 9, 1, 2, 3}), 0) {
+		t.Fatalf("SelectRows = %v", r)
+	}
+	c := a.SelectCols([]int{1, 1, 0})
+	if !Equal(c, NewDenseData(3, 3, []float64{2, 2, 1, 5, 5, 4, 8, 8, 7}), 0) {
+		t.Fatalf("SelectCols = %v", c)
+	}
+}
+
+func TestColSetColSetRow(t *testing.T) {
+	a := NewDense(3, 2)
+	a.SetCol(1, []float64{1, 2, 3})
+	if got := a.Col(1); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Col = %v", got)
+	}
+	a.SetRow(0, []float64{9, 8})
+	if a.At(0, 0) != 9 || a.At(0, 1) != 8 {
+		t.Fatal("SetRow failed")
+	}
+}
+
+func TestMaxAbsFrobTrace(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{3, -4, 0, 0})
+	if got := a.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %v, want 5", got)
+	}
+	if got := a.Trace(); got != 3 {
+		t.Fatalf("Trace = %v, want 3", got)
+	}
+}
+
+func TestFrobeniusNormEmpty(t *testing.T) {
+	if got := NewDense(0, 3).FrobeniusNorm(); got != 0 {
+		t.Fatalf("FrobeniusNorm of empty = %v, want 0", got)
+	}
+}
+
+func TestEqualToleranceAndShape(t *testing.T) {
+	a := NewDenseData(1, 2, []float64{1, 2})
+	b := NewDenseData(1, 2, []float64{1, 2.0005})
+	if !Equal(a, b, 1e-3) {
+		t.Fatal("expected equal within tol")
+	}
+	if Equal(a, b, 1e-6) {
+		t.Fatal("expected unequal at tight tol")
+	}
+	if Equal(a, NewDense(2, 1), 1) {
+		t.Fatal("different shapes must not be Equal")
+	}
+}
+
+func TestFillZeroCopyFrom(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Fill(3)
+	if a.At(1, 1) != 3 {
+		t.Fatal("Fill failed")
+	}
+	b := NewDense(2, 2)
+	b.CopyFrom(a)
+	if !Equal(a, b, 0) {
+		t.Fatal("CopyFrom failed")
+	}
+	a.Zero()
+	if a.MaxAbs() != 0 {
+		t.Fatal("Zero failed")
+	}
+	if b.MaxAbs() != 3 {
+		t.Fatal("CopyFrom must copy, not alias")
+	}
+}

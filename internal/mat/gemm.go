@@ -1,0 +1,193 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmMinParallelWork is the number of multiply-adds below which matrix
+// products run single-threaded; goroutine fan-out costs more than it saves
+// on tiny operands.
+const gemmMinParallelWork = 1 << 16
+
+// workers returns the degree of parallelism used for matrix products.
+var workers = runtime.GOMAXPROCS(0)
+
+// parallelRows splits rows [0,n) into contiguous chunks and runs fn on each
+// chunk concurrently. fn receives the half-open row range [lo,hi).
+func parallelRows(n int, minWorkPerRow int, fn func(lo, hi int)) {
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n*minWorkPerRow < gemmMinParallelWork {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Mul returns the matrix product a*b. It panics if a.Cols != b.Rows.
+// Work is split across GOMAXPROCS goroutines by row blocks with an ikj
+// loop order for cache-friendly access to b.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(dimErr("Mul", a, b))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	MulTo(out, a, b)
+	return out
+}
+
+// MulTo computes dst = a*b into preallocated dst (overwritten). dst must be
+// a.Rows x b.Cols and must not alias a or b.
+func MulTo(dst, a, b *Dense) {
+	if a.Cols != b.Rows {
+		panic(dimErr("MulTo", a, b))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(dimErr("MulTo dst", dst, b))
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	parallelRows(n, k*m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.RowView(i)
+			drow := dst.RowView(i)
+			for j := range drow {
+				drow[j] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*m : (p+1)*m]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MulT returns a * bᵀ without materializing the transpose; b is accessed by
+// rows, which is the cache-friendly layout for kernel Gram computations
+// where both operands store one sample per row.
+func MulT(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Rows)
+	MulTTo(out, a, b)
+	return out
+}
+
+// MulTTo computes dst = a * bᵀ into preallocated dst (overwritten). dst
+// must be a.Rows x b.Rows and must not alias a or b.
+func MulTTo(dst, a, b *Dense) {
+	if a.Cols != b.Cols {
+		panic(dimErr("MulTTo", a, b))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(dimErr("MulTTo dst", dst, b))
+	}
+	out := dst
+	n, k, m := a.Rows, a.Cols, b.Rows
+	parallelRows(n, k*m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.RowView(i)
+			drow := out.RowView(i)
+			for j := 0; j < m; j++ {
+				brow := b.RowView(j)
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				drow[j] = s
+			}
+		}
+	})
+}
+
+// TMul returns aᵀ * b without materializing the transpose.
+func TMul(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(dimErr("TMul", a, b))
+	}
+	k, n, m := a.Rows, a.Cols, b.Cols
+	out := NewDense(n, m)
+	// Accumulate independently per output-row block to stay race-free:
+	// out[i,:] = sum_p a[p,i] * b[p,:].
+	parallelRows(n, k*m, func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			arow := a.RowView(p)
+			brow := b.RowView(p)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				drow := out.RowView(i)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MulVec returns the matrix-vector product a*x as a new slice.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(dimErr("MulVec", a, &Dense{Rows: len(x), Cols: 1}))
+	}
+	out := make([]float64, a.Rows)
+	parallelRows(a.Rows, a.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Dot(a.RowView(i), x)
+		}
+	})
+	return out
+}
+
+// TMulVec returns aᵀ*x as a new slice (length a.Cols).
+func TMulVec(a *Dense, x []float64) []float64 {
+	if a.Rows != len(x) {
+		panic(dimErr("TMulVec", a, &Dense{Rows: len(x), Cols: 1}))
+	}
+	out := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		Axpy(x[i], a.RowView(i), out)
+	}
+	return out
+}
+
+// MulNaive is a straightforward triple-loop reference product used by tests
+// to validate the parallel implementations.
+func MulNaive(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(dimErr("MulNaive", a, b))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for p := 0; p < a.Cols; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by LU-based solvers when the matrix is
+// numerically singular.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U with unit
+// lower-triangular L and upper-triangular U packed into a single matrix.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	sign  float64
+}
+
+// FactorLU computes the LU factorization of a square matrix with partial
+// pivoting. It succeeds even for singular matrices; Solve and Inverse
+// report ErrSingular at use time.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: FactorLU of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	for i := range pivot {
+		pivot[i] = i
+	}
+	sign := 1.0
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in the column at or below the
+		// diagonal.
+		p := col
+		max := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > max {
+				max, p = v, r
+			}
+		}
+		if p != col {
+			rowP, rowC := lu.RowView(p), lu.RowView(col)
+			for j := 0; j < n; j++ {
+				rowP[j], rowC[j] = rowC[j], rowP[j]
+			}
+			pivot[p], pivot[col] = pivot[col], pivot[p]
+			sign = -sign
+		}
+		d := lu.At(col, col)
+		if d == 0 {
+			continue // singular column; factorization proceeds
+		}
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / d
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			rowR := lu.RowView(r)
+			rowC := lu.RowView(col)
+			for j := col + 1; j < n; j++ {
+				rowR[j] -= f * rowC[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves A·x = b for one right-hand side.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: LU.Solve rhs length %d for %dx%d", len(b), n, n)
+	}
+	for i := 0; i < n; i++ {
+		if f.lu.At(i, i) == 0 {
+			return nil, ErrSingular
+		}
+	}
+	// Apply permutation, then forward/backward substitution.
+	x := make([]float64, n)
+	for i, p := range f.pivot {
+		x[i] = b[p]
+	}
+	for i := 1; i < n; i++ {
+		row := f.lu.RowView(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.RowView(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// SolveMat solves A·X = B column by column.
+func (f *LU) SolveMat(b *Dense) (*Dense, error) {
+	if b.Rows != f.lu.Rows {
+		return nil, fmt.Errorf("mat: LU.SolveMat rhs rows %d for %dx%d", b.Rows, f.lu.Rows, f.lu.Cols)
+	}
+	out := NewDense(b.Rows, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		col, err := f.Solve(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(j, col)
+	}
+	return out, nil
+}
+
+// Inverse returns A⁻¹ computed from the factorization.
+func (f *LU) Inverse() (*Dense, error) {
+	return f.SolveMat(Eye(f.lu.Rows))
+}
+
+// Solve solves the general square system A·x = b via LU with partial
+// pivoting.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Det returns the determinant of a square matrix.
+func Det(a *Dense) (float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return 0, err
+	}
+	return f.Det(), nil
+}
+
+// Inverse returns the inverse of a square matrix, or ErrSingular.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse()
+}

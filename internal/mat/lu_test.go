@@ -1,0 +1,158 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{2, 1, -1, -3, -1, 2, -2, 1, 2})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		a := randDense(rng, n, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := MulVec(a, want)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-8 {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUSingularDetection(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 4})
+	if _, err := Solve(a, []float64{1, 1}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	d, err := Det(a)
+	if err != nil || d != 0 {
+		t.Fatalf("Det = %v, %v; want 0", d, err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{3, 1, 4, 2}) // det = 2
+	d, err := Det(a)
+	if err != nil || math.Abs(d-2) > 1e-12 {
+		t.Fatalf("Det = %v (%v), want 2", d, err)
+	}
+	// Determinant of identity is 1 even after pivoting.
+	d, _ = Det(Eye(5))
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Det(I) = %v", d)
+	}
+}
+
+func TestLUInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	a := randDense(rng, 15, 15)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(Mul(a, inv), Eye(15), 1e-9) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+	if !Equal(Mul(inv, a), Eye(15), 1e-9) {
+		t.Fatal("A⁻¹·A != I")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := FactorLU(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square must error")
+	}
+}
+
+func TestLUSolveMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	a := randDense(rng, 10, 10)
+	x := randDense(rng, 10, 3)
+	b := Mul(a, x)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.SolveMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, x, 1e-8) {
+		t.Fatal("SolveMat mismatch")
+	}
+}
+
+// Property: det(A·B) == det(A)·det(B).
+func TestQuickDetMultiplicative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randDense(r, n, n)
+		b := randDense(r, n, n)
+		da, err1 := Det(a)
+		db, err2 := Det(b)
+		dab, err3 := Det(Mul(a, b))
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return math.Abs(dab-da*db) < 1e-8*(1+math.Abs(da*db))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LU solve agrees with Cholesky solve on SPD systems.
+func TestQuickLUAgreesWithCholesky(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(15)
+		a := randSPD(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x1, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x2 := CholeskySolve(l, b)
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSubScale(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{4, 3, 2, 1})
+	if !Equal(Add(a, b), NewDenseData(2, 2, []float64{5, 5, 5, 5}), 0) {
+		t.Fatal("Add wrong")
+	}
+	if !Equal(Sub(a, b), NewDenseData(2, 2, []float64{-3, -1, 1, 3}), 0) {
+		t.Fatal("Sub wrong")
+	}
+	if !Equal(Scale(2, a), NewDenseData(2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := NewDenseData(1, 3, []float64{1, 2, 3})
+	b := NewDenseData(1, 3, []float64{1, 1, 1})
+	AddInPlace(a, b)
+	if !Equal(a, NewDenseData(1, 3, []float64{2, 3, 4}), 0) {
+		t.Fatal("AddInPlace wrong")
+	}
+	SubInPlace(a, b)
+	if !Equal(a, NewDenseData(1, 3, []float64{1, 2, 3}), 0) {
+		t.Fatal("SubInPlace wrong")
+	}
+	AddScaledInPlace(a, 2, b)
+	if !Equal(a, NewDenseData(1, 3, []float64{3, 4, 5}), 0) {
+		t.Fatal("AddScaledInPlace wrong")
+	}
+	ScaleInPlace(a, 0.5)
+	if !Equal(a, NewDenseData(1, 3, []float64{1.5, 2, 2.5}), 0) {
+		t.Fatal("ScaleInPlace wrong")
+	}
+}
+
+func TestHadamardApply(t *testing.T) {
+	a := NewDenseData(1, 3, []float64{1, 2, 3})
+	b := NewDenseData(1, 3, []float64{2, 2, 2})
+	if !Equal(Hadamard(a, b), NewDenseData(1, 3, []float64{2, 4, 6}), 0) {
+		t.Fatal("Hadamard wrong")
+	}
+	sq := Apply(a, func(v float64) float64 { return v * v })
+	if !Equal(sq, NewDenseData(1, 3, []float64{1, 4, 9}), 0) {
+		t.Fatal("Apply wrong")
+	}
+	ApplyInPlace(a, func(v float64) float64 { return -v })
+	if !Equal(a, NewDenseData(1, 3, []float64{-1, -2, -3}), 0) {
+		t.Fatal("ApplyInPlace wrong")
+	}
+}
+
+func TestDotAxpyNorm(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	z := []float64{0, 0, 0}
+	Axpy(2, x, z)
+	if z[0] != 2 || z[1] != 4 || z[2] != 6 {
+		t.Fatalf("Axpy = %v", z)
+	}
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-14 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("Norm2(nil) != 0")
+	}
+}
+
+func TestSqDist(t *testing.T) {
+	if got := SqDist([]float64{0, 0}, []float64{3, 4}); got != 25 {
+		t.Fatalf("SqDist = %v, want 25", got)
+	}
+}
+
+func TestRowSumSqColMeansColStds(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	ss := RowSumSq(a)
+	if ss[0] != 5 || ss[1] != 25 {
+		t.Fatalf("RowSumSq = %v", ss)
+	}
+	m := ColMeans(a)
+	if m[0] != 2 || m[1] != 3 {
+		t.Fatalf("ColMeans = %v", m)
+	}
+	s := ColStds(a, m)
+	if math.Abs(s[0]-1) > 1e-14 || math.Abs(s[1]-1) > 1e-14 {
+		t.Fatalf("ColStds = %v", s)
+	}
+}
+
+func TestArgMaxRow(t *testing.T) {
+	if got := ArgMaxRow([]float64{0.1, 0.9, 0.5}); got != 1 {
+		t.Fatalf("ArgMaxRow = %d, want 1", got)
+	}
+	if got := ArgMaxRow([]float64{1, 1}); got != 0 {
+		t.Fatalf("tie must resolve to first index, got %d", got)
+	}
+}
+
+// Property: ||x||^2 == Dot(x,x) and SqDist(x,z) == ||x-z||^2.
+func TestQuickNormDistConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		x := make([]float64, n)
+		z := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			z[i] = r.NormFloat64()
+		}
+		n2 := Norm2(x)
+		if math.Abs(n2*n2-Dot(x, x)) > 1e-9*(1+Dot(x, x)) {
+			return false
+		}
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = x[i] - z[i]
+		}
+		return math.Abs(SqDist(x, z)-Dot(d, d)) < 1e-9*(1+Dot(d, d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

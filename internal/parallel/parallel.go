@@ -1,0 +1,324 @@
+// Package parallel implements synchronous data-parallel EigenPro 2.0
+// training across a group of devices — the multi-GPU direction the paper's
+// §6 names as the next natural step for kernel methods.
+//
+// The kernel centers (and their coefficient rows) are partitioned into one
+// shard per worker. Every iteration:
+//
+//  1. the mini-batch is broadcast to all workers;
+//  2. worker w computes its partial predictions f_w = K(batch, X_w)·α_w;
+//  3. an allreduce sums the partials into f = Σ_w f_w (this is the
+//     synchronization the device group's SyncOverhead models);
+//  4. each worker applies the SGD update to the batch coordinates it owns
+//     and the EigenPro correction to its share of the fixed block.
+//
+// Because every floating-point quantity is reduced deterministically
+// (shards summed in worker order), the result matches single-device
+// training up to roundoff reassociation — an invariant the test suite
+// enforces.
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"eigenpro/internal/core"
+	"eigenpro/internal/device"
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+)
+
+// Config controls sharded training. Zero values select the same automatic
+// choices as core.Config.
+type Config struct {
+	// Kernel is required.
+	Kernel kernel.Func
+	// Workers is the number of shards (required >= 1).
+	Workers int
+	// Device is the aggregate resource (typically device.NewGroup);
+	// defaults to device.SimTitanXp().
+	Device *device.Device
+	// S, QMax, Q, Batch, Eta, Epochs, StopTrainMSE, Seed mirror
+	// core.Config.
+	S, QMax, Q, Batch int
+	Eta               float64
+	Epochs            int
+	StopTrainMSE      float64
+	Seed              int64
+}
+
+// Result reports a sharded training run.
+type Result struct {
+	// Model is the trained predictor (coefficients assembled across
+	// shards).
+	Model *core.Model
+	// Params are the automatically selected parameters.
+	Params core.Params
+	// Epochs, Iters, SimTime, WallTime, FinalTrainMSE, Converged mirror
+	// core.Result.
+	Epochs, Iters     int
+	SimTime, WallTime time.Duration
+	FinalTrainMSE     float64
+	Converged         bool
+}
+
+// shard is one worker's slice of the center set.
+type shard struct {
+	lo, hi int // owned rows [lo, hi) of x and alpha
+}
+
+// Train fits a kernel machine with the center set partitioned across
+// cfg.Workers shards.
+func Train(cfg Config, x, y *mat.Dense) (*Result, error) {
+	if cfg.Kernel == nil {
+		return nil, fmt.Errorf("parallel: Config.Kernel is required")
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("parallel: Workers must be >= 1, got %d", cfg.Workers)
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("parallel: Epochs must be >= 1, got %d", cfg.Epochs)
+	}
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("parallel: %d samples with %d target rows", x.Rows, y.Rows)
+	}
+	n, d, l := x.Rows, x.Cols, y.Cols
+	if cfg.Workers > n {
+		return nil, fmt.Errorf("parallel: %d workers for %d samples", cfg.Workers, n)
+	}
+	dev := cfg.Device
+	if dev == nil {
+		dev = device.SimTitanXp()
+	}
+
+	s := cfg.S
+	if s == 0 {
+		s = core.SubsampleSize(n)
+	}
+	if s > n {
+		s = n
+	}
+	qmax := cfg.QMax
+	if qmax == 0 {
+		qmax = s / 4
+		if qmax > 256 {
+			qmax = 256
+		}
+		if qmax < 1 {
+			qmax = 1
+		}
+	}
+	if qmax >= s {
+		qmax = s - 1
+	}
+	sp, err := core.EstimateSpectrum(cfg.Kernel, x, s, qmax, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	params := core.SelectParams(sp, dev, n, d, l)
+	if cfg.Q > 0 {
+		if cfg.Q > sp.QMax() {
+			return nil, fmt.Errorf("parallel: Q=%d exceeds available eigenpairs %d", cfg.Q, sp.QMax())
+		}
+		params.QAdjusted = cfg.Q
+		params.BetaAdapted = core.BetaPrecond(sp, cfg.Q)
+	}
+	if cfg.Batch > 0 {
+		params.Batch = cfg.Batch
+	}
+	if params.Batch > n {
+		params.Batch = n
+	}
+	q := params.QAdjusted
+	if q > 0 {
+		probeN := 2000
+		if probeN > n {
+			probeN = n
+		}
+		probeIdx := rand.New(rand.NewSource(cfg.Seed + 2)).Perm(n)[:probeN]
+		if b := core.BetaPrecondAt(sp, q, x.SelectRows(probeIdx)); b > params.BetaAdapted {
+			params.BetaAdapted = b
+		}
+	}
+	lambdaTop := sp.Lambda(1)
+	if q > 0 {
+		lambdaTop = sp.Lambda(q)
+	}
+	params.Eta = core.StepSize(params.Batch, params.BetaAdapted, lambdaTop)
+	if cfg.Eta > 0 {
+		params.Eta = cfg.Eta
+	}
+
+	// Preconditioner pieces (shared, read-only across workers).
+	var vq *mat.Dense
+	var dDiag []float64
+	if q > 0 {
+		idx := make([]int, q)
+		for i := range idx {
+			idx[i] = i
+		}
+		vq = sp.V.SelectCols(idx)
+		dDiag = make([]float64, q)
+		sigQ := sp.Sigma[q-1]
+		for i := 0; i < q; i++ {
+			if sp.Sigma[i] > 0 {
+				dDiag[i] = (1 - sigQ/sp.Sigma[i]) / sp.Sigma[i]
+			}
+		}
+	}
+
+	// Contiguous shards.
+	shards := make([]shard, cfg.Workers)
+	per := n / cfg.Workers
+	extra := n % cfg.Workers
+	lo := 0
+	for w := range shards {
+		hi := lo + per
+		if w < extra {
+			hi++
+		}
+		shards[w] = shard{lo: lo, hi: hi}
+		lo = hi
+	}
+
+	model := core.NewModel(cfg.Kernel, x, l)
+	alpha := model.Alpha
+	clock := device.NewClock(dev)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	res := &Result{Model: model, Params: params}
+	m := params.Batch
+	start := time.Now()
+
+	partial := make([]*mat.Dense, cfg.Workers)
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		perm := rng.Perm(n)
+		sumSq, count := 0.0, 0
+		for bLo := 0; bLo < n; bLo += m {
+			bHi := bLo + m
+			if bHi > n {
+				bHi = n
+			}
+			batch := perm[bLo:bHi]
+			mt := len(batch)
+			etaT := params.Eta
+			if mt != m && cfg.Eta == 0 {
+				etaT = core.StepSize(mt, params.BetaAdapted, lambdaTop)
+			} else if mt != m {
+				etaT = cfg.Eta * float64(mt) / float64(m)
+			}
+			xb := x.SelectRows(batch)
+
+			// Workers compute partial predictions over their shards.
+			var wg sync.WaitGroup
+			kbs := make([]*mat.Dense, cfg.Workers)
+			for w, sh := range shards {
+				wg.Add(1)
+				go func(w int, sh shard) {
+					defer wg.Done()
+					xw := x.SliceRows(sh.lo, sh.hi)
+					kb := kernel.Matrix(cfg.Kernel, xb, xw) // m x n_w
+					aw := alpha.SliceRows(sh.lo, sh.hi)
+					partial[w] = mat.Mul(kb, aw)
+					kbs[w] = kb
+				}(w, sh)
+			}
+			wg.Wait()
+			// Deterministic allreduce in worker order.
+			f := partial[0].Clone()
+			for w := 1; w < cfg.Workers; w++ {
+				mat.AddInPlace(f, partial[w])
+			}
+			// Residual and loss.
+			r := f
+			for t, row := range batch {
+				yRow := y.RowView(row)
+				rRow := r.RowView(t)
+				for j := range rRow {
+					rRow[j] -= yRow[j]
+					sumSq += rRow[j] * rRow[j]
+				}
+			}
+			count += mt * l
+			if math.IsNaN(sumSq) || math.IsInf(sumSq, 0) {
+				return nil, fmt.Errorf("parallel: training diverged at epoch %d", epoch)
+			}
+			scale := etaT * 2 / float64(mt)
+
+			// Correction on the fixed block (computed once, applied by
+			// owners). Φ r = Σ_w Φ_w-part; the subsample columns of the
+			// batch kernel rows live in the shard kernels.
+			var t3 *mat.Dense
+			if q > 0 {
+				phiR := mat.NewDense(s, l)
+				for j, rowIdx := range sp.SubIdx {
+					w := ownerOf(shards, rowIdx)
+					col := rowIdx - shards[w].lo
+					kb := kbs[w]
+					dst := phiR.RowView(j)
+					for t := 0; t < mt; t++ {
+						kv := kb.At(t, col)
+						if kv == 0 {
+							continue
+						}
+						mat.Axpy(kv, r.RowView(t), dst)
+					}
+				}
+				t2 := mat.TMul(vq, phiR) // q x l
+				for i := 0; i < t2.Rows; i++ {
+					di := dDiag[i]
+					row := t2.RowView(i)
+					for j := range row {
+						row[j] *= di
+					}
+				}
+				t3 = mat.Mul(vq, t2) // s x l
+			}
+
+			// Owners apply updates to their coordinate blocks in parallel.
+			for w := range shards {
+				wg.Add(1)
+				go func(w int, sh shard) {
+					defer wg.Done()
+					for t, rowIdx := range batch {
+						if rowIdx >= sh.lo && rowIdx < sh.hi {
+							mat.Axpy(-scale, r.RowView(t), alpha.RowView(rowIdx))
+						}
+					}
+					if t3 != nil {
+						for j, rowIdx := range sp.SubIdx {
+							if rowIdx >= sh.lo && rowIdx < sh.hi {
+								mat.Axpy(scale, t3.RowView(j), alpha.RowView(rowIdx))
+							}
+						}
+					}
+				}(w, shards[w])
+			}
+			wg.Wait()
+
+			clock.Charge(core.ImprovedEigenProIterOps(n, mt, d, l, s, q))
+			res.Iters++
+		}
+		res.Epochs = epoch
+		res.FinalTrainMSE = sumSq / float64(count)
+		if cfg.StopTrainMSE > 0 && res.FinalTrainMSE < cfg.StopTrainMSE {
+			res.Converged = true
+			break
+		}
+	}
+	res.SimTime = clock.Elapsed()
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// ownerOf returns the index of the shard owning global row idx.
+func ownerOf(shards []shard, idx int) int {
+	for w, sh := range shards {
+		if idx >= sh.lo && idx < sh.hi {
+			return w
+		}
+	}
+	panic(fmt.Sprintf("parallel: row %d outside all shards", idx))
+}

@@ -1,0 +1,154 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"eigenpro/internal/core"
+	"eigenpro/internal/data"
+	"eigenpro/internal/device"
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/metrics"
+)
+
+func testDataset(n int) *data.Dataset {
+	return data.Generate(data.GenConfig{
+		Name: "test", N: n, Dim: 20, Classes: 4, LatentDim: 6, Seed: 99,
+	})
+}
+
+func shardedConfig(workers int) Config {
+	return Config{
+		Kernel:  kernel.Gaussian{Sigma: 4},
+		Workers: workers,
+		Epochs:  4,
+		Seed:    5,
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	ds := testDataset(50)
+	if _, err := Train(Config{Workers: 1, Epochs: 1}, ds.X, ds.Y); err == nil {
+		t.Fatal("missing kernel must error")
+	}
+	cfg := shardedConfig(0)
+	if _, err := Train(cfg, ds.X, ds.Y); err == nil {
+		t.Fatal("workers=0 must error")
+	}
+	cfg = shardedConfig(2)
+	cfg.Epochs = 0
+	if _, err := Train(cfg, ds.X, ds.Y); err == nil {
+		t.Fatal("epochs=0 must error")
+	}
+	cfg = shardedConfig(100)
+	if _, err := Train(cfg, ds.X, ds.Y); err == nil {
+		t.Fatal("more workers than samples must error")
+	}
+}
+
+// The headline invariant: sharded training reproduces single-device
+// core.Train (same seeds, same analytic parameters) up to floating-point
+// reassociation in the allreduce.
+func TestShardedMatchesSingleDevice(t *testing.T) {
+	ds := testDataset(240)
+	ref, err := core.Train(core.Config{
+		Kernel: kernel.Gaussian{Sigma: 4},
+		Method: core.MethodEigenPro2,
+		Epochs: 4,
+		Seed:   5,
+	}, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 5} {
+		res, err := Train(shardedConfig(workers), ds.X, ds.Y)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Params.Batch != ref.Params.Batch || res.Params.QAdjusted != ref.Params.QAdjusted {
+			t.Fatalf("workers=%d: params diverged: %+v vs %+v", workers, res.Params, ref.Params)
+		}
+		maxDiff := 0.0
+		for i := range res.Model.Alpha.Data {
+			d := math.Abs(res.Model.Alpha.Data[i] - ref.Model.Alpha.Data[i])
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 1e-6 {
+			t.Fatalf("workers=%d: coefficient gap %v vs single-device", workers, maxDiff)
+		}
+	}
+}
+
+func TestShardedDeterministic(t *testing.T) {
+	ds := testDataset(120)
+	a, err := Train(shardedConfig(3), ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(shardedConfig(3), ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Model.Alpha.Data {
+		if a.Model.Alpha.Data[i] != b.Model.Alpha.Data[i] {
+			t.Fatal("sharded training not deterministic")
+		}
+	}
+}
+
+func TestShardedConvergesAndClassifies(t *testing.T) {
+	ds := testDataset(400)
+	train, test := ds.Split(0.8, 1)
+	cfg := shardedConfig(4)
+	cfg.Epochs = 100
+	cfg.StopTrainMSE = 2e-3
+	res, err := Train(cfg, train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: mse %v", res.FinalTrainMSE)
+	}
+	errRate := metrics.ClassificationError(res.Model.Predict(test.X), test.Labels)
+	if errRate > 0.1 {
+		t.Fatalf("test error %v too high", errRate)
+	}
+}
+
+func TestShardedWithDeviceGroup(t *testing.T) {
+	ds := testDataset(200)
+	base := device.SimTitanXp()
+	grp, err := device.NewGroup(base, 4, device.GroupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shardedConfig(4)
+	cfg.Device = grp
+	res, err := Train(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimTime <= 0 {
+		t.Fatal("group device time not charged")
+	}
+	// The group's larger m_max must not shrink the selected batch.
+	single, err := Train(shardedConfig(4), ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params.MMax < single.Params.MMax {
+		t.Fatalf("group m_max %d below single %d", res.Params.MMax, single.Params.MMax)
+	}
+}
+
+func TestShardedDivergenceDetected(t *testing.T) {
+	ds := testDataset(60)
+	cfg := shardedConfig(2)
+	cfg.Eta = 1e9
+	cfg.Epochs = 100
+	if _, err := Train(cfg, ds.X, ds.Y); err == nil {
+		t.Fatal("divergence must error")
+	}
+}

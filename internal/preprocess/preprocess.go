@@ -1,0 +1,178 @@
+// Package preprocess implements the feature transformations the paper
+// applies before kernel training: min-max rescaling to [0,1] for image
+// datasets, z-score standardization for TIMIT, grayscale conversion for
+// color images, and PCA dimensionality reduction (§5.5, used on ImageNet
+// convolutional features).
+//
+// Every transformation follows the fit/apply pattern: statistics are
+// estimated on training data and then applied unchanged to test data.
+package preprocess
+
+import (
+	"fmt"
+	"math"
+
+	"eigenpro/internal/eigen"
+	"eigenpro/internal/mat"
+)
+
+// MinMaxScaler rescales each feature into [0,1] using ranges estimated at
+// fit time.
+type MinMaxScaler struct {
+	mins, spans []float64
+}
+
+// FitMinMax estimates per-column minima and ranges from x.
+func FitMinMax(x *mat.Dense) *MinMaxScaler {
+	s := &MinMaxScaler{
+		mins:  make([]float64, x.Cols),
+		spans: make([]float64, x.Cols),
+	}
+	for j := 0; j < x.Cols; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < x.Rows; i++ {
+			v := x.At(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		s.mins[j] = lo
+		s.spans[j] = hi - lo
+	}
+	return s
+}
+
+// Apply returns a rescaled copy of x. Constant columns map to 0; values
+// outside the fitted range extrapolate linearly (they are not clipped).
+func (s *MinMaxScaler) Apply(x *mat.Dense) *mat.Dense {
+	if x.Cols != len(s.mins) {
+		panic(fmt.Sprintf("preprocess: MinMax fitted on %d cols, applied to %d", len(s.mins), x.Cols))
+	}
+	out := x.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.RowView(i)
+		for j := range row {
+			if s.spans[j] == 0 {
+				row[j] = 0
+			} else {
+				row[j] = (row[j] - s.mins[j]) / s.spans[j]
+			}
+		}
+	}
+	return out
+}
+
+// ZScorer standardizes each feature to zero mean and unit variance using
+// statistics estimated at fit time.
+type ZScorer struct {
+	means, stds []float64
+}
+
+// FitZScore estimates per-column means and standard deviations from x.
+func FitZScore(x *mat.Dense) *ZScorer {
+	means := mat.ColMeans(x)
+	return &ZScorer{means: means, stds: mat.ColStds(x, means)}
+}
+
+// Apply returns a standardized copy of x; zero-variance columns map to 0.
+func (z *ZScorer) Apply(x *mat.Dense) *mat.Dense {
+	if x.Cols != len(z.means) {
+		panic(fmt.Sprintf("preprocess: ZScore fitted on %d cols, applied to %d", len(z.means), x.Cols))
+	}
+	out := x.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.RowView(i)
+		for j := range row {
+			if z.stds[j] == 0 {
+				row[j] = 0
+			} else {
+				row[j] = (row[j] - z.means[j]) / z.stds[j]
+			}
+		}
+	}
+	return out
+}
+
+// Grayscale converts interleaved RGB features (r0,g0,b0,r1,g1,b1,...) into
+// single luminance channels using the ITU-R BT.601 weights the usual image
+// pipelines apply. x.Cols must be divisible by 3.
+func Grayscale(x *mat.Dense) *mat.Dense {
+	if x.Cols%3 != 0 {
+		panic(fmt.Sprintf("preprocess: Grayscale needs cols divisible by 3, got %d", x.Cols))
+	}
+	pixels := x.Cols / 3
+	out := mat.NewDense(x.Rows, pixels)
+	for i := 0; i < x.Rows; i++ {
+		src := x.RowView(i)
+		dst := out.RowView(i)
+		for p := 0; p < pixels; p++ {
+			dst[p] = 0.299*src[3*p] + 0.587*src[3*p+1] + 0.114*src[3*p+2]
+		}
+	}
+	return out
+}
+
+// PCA holds a fitted principal component basis.
+type PCA struct {
+	mean       []float64
+	components *mat.Dense // d x k, orthonormal columns
+	variances  []float64  // eigenvalues of the covariance, descending
+}
+
+// FitPCA computes the top-k principal components of x via
+// eigendecomposition of the d x d covariance matrix. k must be in [1, d].
+func FitPCA(x *mat.Dense, k int) (*PCA, error) {
+	d := x.Cols
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("preprocess: PCA k=%d out of [1,%d]", k, d)
+	}
+	if x.Rows < 2 {
+		return nil, fmt.Errorf("preprocess: PCA needs at least 2 samples, got %d", x.Rows)
+	}
+	mean := mat.ColMeans(x)
+	centered := x.Clone()
+	for i := 0; i < centered.Rows; i++ {
+		row := centered.RowView(i)
+		for j := range row {
+			row[j] -= mean[j]
+		}
+	}
+	cov := mat.TMul(centered, centered)
+	mat.ScaleInPlace(cov, 1/float64(x.Rows-1))
+	sys, err := eigen.Sym(cov)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: PCA eigendecomposition: %w", err)
+	}
+	top := sys.TopQ(k)
+	return &PCA{mean: mean, components: top.Vectors, variances: top.Values}, nil
+}
+
+// Transform projects x onto the fitted components, returning an n x k
+// matrix.
+func (p *PCA) Transform(x *mat.Dense) *mat.Dense {
+	if x.Cols != len(p.mean) {
+		panic(fmt.Sprintf("preprocess: PCA fitted on %d features, applied to %d", len(p.mean), x.Cols))
+	}
+	centered := x.Clone()
+	for i := 0; i < centered.Rows; i++ {
+		row := centered.RowView(i)
+		for j := range row {
+			row[j] -= p.mean[j]
+		}
+	}
+	return mat.Mul(centered, p.components)
+}
+
+// K returns the number of retained components.
+func (p *PCA) K() int { return p.components.Cols }
+
+// ExplainedVariances returns the covariance eigenvalues of the retained
+// components in descending order.
+func (p *PCA) ExplainedVariances() []float64 {
+	out := make([]float64, len(p.variances))
+	copy(out, p.variances)
+	return out
+}

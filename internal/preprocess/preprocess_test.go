@@ -1,0 +1,224 @@
+package preprocess
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eigenpro/internal/mat"
+)
+
+func randX(rng *rand.Rand, n, d int) *mat.Dense {
+	x := mat.NewDense(n, d)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()*3 + 1
+	}
+	return x
+}
+
+func TestMinMaxScalesTrainTo01(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	x := randX(rng, 100, 5)
+	s := FitMinMax(x)
+	y := s.Apply(x)
+	for j := 0; j < 5; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 100; i++ {
+			v := y.At(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if math.Abs(lo) > 1e-12 || math.Abs(hi-1) > 1e-12 {
+			t.Fatalf("column %d range [%v,%v], want [0,1]", j, lo, hi)
+		}
+	}
+}
+
+func TestMinMaxConstantColumn(t *testing.T) {
+	x := mat.NewDense(4, 2)
+	for i := 0; i < 4; i++ {
+		x.Set(i, 0, 7) // constant
+		x.Set(i, 1, float64(i))
+	}
+	y := FitMinMax(x).Apply(x)
+	for i := 0; i < 4; i++ {
+		if y.At(i, 0) != 0 {
+			t.Fatal("constant column must map to 0")
+		}
+	}
+}
+
+func TestMinMaxAppliesTrainStatsToTest(t *testing.T) {
+	train := mat.NewDenseData(2, 1, []float64{0, 10})
+	test := mat.NewDenseData(2, 1, []float64{5, 20})
+	s := FitMinMax(train)
+	y := s.Apply(test)
+	if y.At(0, 0) != 0.5 || y.At(1, 0) != 2.0 {
+		t.Fatalf("got %v, %v; want 0.5, 2.0 (no clipping)", y.At(0, 0), y.At(1, 0))
+	}
+}
+
+func TestZScoreTrainMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := randX(rng, 400, 4)
+	y := FitZScore(x).Apply(x)
+	means := mat.ColMeans(y)
+	stds := mat.ColStds(y, means)
+	for j := 0; j < 4; j++ {
+		if math.Abs(means[j]) > 1e-10 || math.Abs(stds[j]-1) > 1e-10 {
+			t.Fatalf("column %d: mean %v std %v", j, means[j], stds[j])
+		}
+	}
+}
+
+func TestZScoreZeroVariance(t *testing.T) {
+	x := mat.NewDense(3, 1)
+	x.Fill(5)
+	y := FitZScore(x).Apply(x)
+	for i := 0; i < 3; i++ {
+		if y.At(i, 0) != 0 {
+			t.Fatal("zero-variance column must map to 0")
+		}
+	}
+}
+
+func TestScalerDimMismatchPanics(t *testing.T) {
+	s := FitMinMax(mat.NewDense(2, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Apply(mat.NewDense(2, 4))
+}
+
+func TestGrayscaleWeights(t *testing.T) {
+	x := mat.NewDenseData(1, 3, []float64{1, 1, 1})
+	y := Grayscale(x)
+	if math.Abs(y.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("gray(1,1,1) = %v, want 1", y.At(0, 0))
+	}
+	x2 := mat.NewDenseData(1, 6, []float64{1, 0, 0, 0, 1, 0})
+	y2 := Grayscale(x2)
+	if math.Abs(y2.At(0, 0)-0.299) > 1e-12 || math.Abs(y2.At(0, 1)-0.587) > 1e-12 {
+		t.Fatalf("gray channels = %v, %v", y2.At(0, 0), y2.At(0, 1))
+	}
+}
+
+func TestGrayscaleBadColsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Grayscale(mat.NewDense(1, 4))
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Data concentrated along (1,1)/√2 with small orthogonal noise.
+	rng := rand.New(rand.NewSource(42))
+	n := 500
+	x := mat.NewDense(n, 2)
+	for i := 0; i < n; i++ {
+		s := rng.NormFloat64() * 5
+		e := rng.NormFloat64() * 0.1
+		x.Set(i, 0, s+e)
+		x.Set(i, 1, s-e)
+	}
+	p, err := FitPCA(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, v1 := p.components.At(0, 0), p.components.At(1, 0)
+	if math.Abs(math.Abs(v0)-math.Sqrt2/2) > 0.02 || math.Abs(math.Abs(v1)-math.Sqrt2/2) > 0.02 {
+		t.Fatalf("principal direction (%v,%v), want ±(0.707,0.707)", v0, v1)
+	}
+	if p.K() != 1 {
+		t.Fatalf("K = %d", p.K())
+	}
+}
+
+func TestPCATransformReducesDimAndPreservesVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	x := randX(rng, 300, 10)
+	p, err := FitPCA(x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := p.Transform(x)
+	if y.Cols != 10 {
+		t.Fatalf("cols = %d", y.Cols)
+	}
+	// Full-rank PCA is a rotation: total variance is preserved.
+	totalX, totalY := 0.0, 0.0
+	mx, my := mat.ColMeans(x), mat.ColMeans(y)
+	sx, sy := mat.ColStds(x, mx), mat.ColStds(y, my)
+	for j := 0; j < 10; j++ {
+		totalX += sx[j] * sx[j]
+		totalY += sy[j] * sy[j]
+	}
+	if math.Abs(totalX-totalY) > 1e-8*totalX {
+		t.Fatalf("variance not preserved: %v vs %v", totalX, totalY)
+	}
+	// Explained variances descending.
+	ev := p.ExplainedVariances()
+	for i := 1; i < len(ev); i++ {
+		if ev[i] > ev[i-1]+1e-12 {
+			t.Fatalf("explained variances not descending: %v", ev)
+		}
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	x := mat.NewDense(5, 3)
+	if _, err := FitPCA(x, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := FitPCA(x, 4); err == nil {
+		t.Fatal("k>d must error")
+	}
+	if _, err := FitPCA(mat.NewDense(1, 3), 2); err == nil {
+		t.Fatal("n<2 must error")
+	}
+}
+
+// Property: PCA projection is norm-nonexpansive for centered data
+// (projection onto an orthonormal basis).
+func TestQuickPCANonExpansive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, d := 20+r.Intn(30), 2+r.Intn(6)
+		k := 1 + r.Intn(d)
+		x := randX(r, n, d)
+		p, err := FitPCA(x, k)
+		if err != nil {
+			return false
+		}
+		y := p.Transform(x)
+		// Compare against centered x norms.
+		mean := mat.ColMeans(x)
+		for i := 0; i < n; i++ {
+			cx := 0.0
+			for j := 0; j < d; j++ {
+				v := x.At(i, j) - mean[j]
+				cx += v * v
+			}
+			py := 0.0
+			for j := 0; j < k; j++ {
+				py += y.At(i, j) * y.At(i, j)
+			}
+			if py > cx+1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

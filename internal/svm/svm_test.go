@@ -1,0 +1,175 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"eigenpro/internal/data"
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+)
+
+func testDataset(n int) *data.Dataset {
+	return data.Generate(data.GenConfig{
+		Name: "test", N: n, Dim: 10, Classes: 3, LatentDim: 5, Seed: 55,
+	})
+}
+
+func binaryLabels(ds *data.Dataset, positive int) []float64 {
+	y := make([]float64, ds.N())
+	for i, l := range ds.Labels {
+		if l == positive {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	return y
+}
+
+func svmConfig() Config {
+	return Config{Kernel: kernel.Gaussian{Sigma: 3}, C: 10, Seed: 2}
+}
+
+func TestTrainBinarySeparable(t *testing.T) {
+	ds := testDataset(200)
+	y := binaryLabels(ds, 0)
+	m, err := TrainBinary(svmConfig(), ds.X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := m.DecisionBatch(ds.X)
+	wrong := 0
+	for i, s := range scores {
+		if s*y[i] <= 0 {
+			wrong++
+		}
+	}
+	if frac := float64(wrong) / float64(len(y)); frac > 0.05 {
+		t.Fatalf("binary train error %v too high", frac)
+	}
+	if m.SupportX.Rows == 0 || m.SupportX.Rows == ds.N() {
+		t.Fatalf("suspicious support vector count %d of %d", m.SupportX.Rows, ds.N())
+	}
+}
+
+func TestTrainBinaryErrors(t *testing.T) {
+	ds := testDataset(20)
+	if _, err := TrainBinary(Config{}, ds.X, binaryLabels(ds, 0)); err == nil {
+		t.Fatal("missing kernel must error")
+	}
+	if _, err := TrainBinary(svmConfig(), ds.X, []float64{1, -1}); err == nil {
+		t.Fatal("label count mismatch must error")
+	}
+	bad := binaryLabels(ds, 0)
+	bad[3] = 0.5
+	if _, err := TrainBinary(svmConfig(), ds.X, bad); err == nil {
+		t.Fatal("non-±1 label must error")
+	}
+}
+
+func TestDecisionMatchesBatch(t *testing.T) {
+	ds := testDataset(100)
+	m, err := TrainBinary(svmConfig(), ds.X, binaryLabels(ds, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.DecisionBatch(ds.X)
+	for i := 0; i < 10; i++ {
+		single := m.Decision(ds.X.RowView(i))
+		if math.Abs(single-batch[i]) > 1e-10 {
+			t.Fatalf("Decision[%d] %v != batch %v", i, single, batch[i])
+		}
+	}
+}
+
+func TestBoxConstraintRespected(t *testing.T) {
+	ds := testDataset(150)
+	cfg := svmConfig()
+	cfg.C = 0.5
+	m, err := TrainBinary(cfg, ds.X, binaryLabels(ds, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.Coef {
+		if math.Abs(c) > cfg.C+1e-9 {
+			t.Fatalf("|α·y| = %v exceeds C = %v", math.Abs(c), cfg.C)
+		}
+	}
+}
+
+func TestMulticlassSequentialAndParallelAgree(t *testing.T) {
+	ds := testDataset(200)
+	seqRes, err := Train(svmConfig(), ds.X, ds.Labels, ds.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := svmConfig()
+	parCfg.Parallel = true
+	parRes, err := Train(parCfg, ds.X, ds.Labels, ds.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical seeds per class: the two drivers must produce identical
+	// models.
+	seqPred := seqRes.Model.PredictLabels(ds.X)
+	parPred := parRes.Model.PredictLabels(ds.X)
+	for i := range seqPred {
+		if seqPred[i] != parPred[i] {
+			t.Fatal("parallel driver changed predictions")
+		}
+	}
+}
+
+func TestMulticlassAccuracy(t *testing.T) {
+	ds := testDataset(300)
+	train, test := ds.Split(0.8, 4)
+	res, err := Train(svmConfig(), train.X, train.Labels, train.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := res.Model.PredictLabels(test.X)
+	wrong := 0
+	for i, p := range pred {
+		if p != test.Labels[i] {
+			wrong++
+		}
+	}
+	if frac := float64(wrong) / float64(len(pred)); frac > 0.12 {
+		t.Fatalf("multiclass test error %v too high", frac)
+	}
+	if res.WallTime <= 0 {
+		t.Fatal("wall time missing")
+	}
+}
+
+func TestMulticlassErrors(t *testing.T) {
+	ds := testDataset(30)
+	if _, err := Train(Config{}, ds.X, ds.Labels, 3); err == nil {
+		t.Fatal("missing kernel must error")
+	}
+	if _, err := Train(svmConfig(), ds.X, ds.Labels, 1); err == nil {
+		t.Fatal("single class must error")
+	}
+	if _, err := Train(svmConfig(), ds.X, ds.Labels[:5], 3); err == nil {
+		t.Fatal("label count mismatch must error")
+	}
+}
+
+func TestDegenerateAllOneClassBinary(t *testing.T) {
+	// All-positive labels: no KKT violations with alpha=0; model is
+	// constant but valid.
+	x := mat.NewDense(10, 2)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, float64(i))
+	}
+	y := make([]float64, 10)
+	for i := range y {
+		y[i] = 1
+	}
+	m, err := TrainBinary(svmConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Decision(x.RowView(0)) // must not panic
+}
