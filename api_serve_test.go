@@ -1,0 +1,87 @@
+package eigenpro
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestServerPublicAPI exercises the serving vertical through the public
+// surface only: train, save, load into a server, predict (direct and over
+// HTTP), and read stats.
+func TestServerPublicAPI(t *testing.T) {
+	ds := MNISTLike(300, 3)
+	train, test := ds.Split(0.8, 3)
+	res, err := Train(Config{Kernel: GaussianKernel(5), Epochs: 2, Seed: 3}, train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, res.Model); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(ServerConfig{})
+	defer srv.Close()
+	if err := srv.LoadModel("mnist", &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	want := res.Model.Predict(test.X)
+	got, err := srv.Predict(context.Background(), "mnist", test.X.RowView(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range got {
+		if diff := v - want.At(0, j); diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("served prediction differs from Model.Predict at col %d", j)
+		}
+	}
+	if lbl, err := srv.PredictLabel(context.Background(), "mnist", test.X.RowView(1)); err != nil {
+		t.Fatal(err)
+	} else if lbl < 0 || lbl >= ds.Classes {
+		t.Fatalf("label %d out of range", lbl)
+	}
+
+	ts := httptest.NewServer(NewServerHandler(srv))
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]any{"model": "mnist", "x": test.X.RowView(2)})
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP predict status %d", resp.StatusCode)
+	}
+
+	st := srv.Stats()
+	if st.Requests != 3 || st.Batches == 0 || st.SimTime <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if _, err := srv.Predict(context.Background(), "absent", test.X.RowView(0)); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+
+	// PredictBatch is the public fast path the server uses internally.
+	if batch := res.Model.PredictBatch(test.X, 16); !equalish(batch, want) {
+		t.Fatal("PredictBatch differs from Predict")
+	}
+}
+
+// equalish compares matrices loosely for the public API test.
+func equalish(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if d := v - b.Data[i]; d > 1e-10 || d < -1e-10 {
+			return false
+		}
+	}
+	return true
+}

@@ -101,3 +101,9 @@ func BenchmarkAblationS(b *testing.B) { benchReport(b, bench.AblationS) }
 // BenchmarkMultiGPU regenerates the §6 future-work study: adaptivity
 // across data-parallel device groups.
 func BenchmarkMultiGPU(b *testing.B) { benchReport(b, bench.MultiGPU) }
+
+// BenchmarkServing measures batched vs unbatched serving throughput
+// (requests/sec vs concurrent clients) with micro-batches sized to the
+// device model's m_max — tracking the serving-path trajectory the same way
+// the training benchmarks track the paper's artifacts.
+func BenchmarkServing(b *testing.B) { benchReport(b, bench.ServingThroughput) }

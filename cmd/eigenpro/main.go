@@ -7,6 +7,12 @@
 //	eigenpro [-dataset mnist|cifar10|svhn|timit|susy|imagenet] [-n 2000]
 //	         [-kernel gaussian|laplacian|cauchy] [-sigma 5] [-epochs 10]
 //	         [-method eigenpro2|eigenpro1|sgd] [-seed 1]
+//
+// The serve subcommand loads (or trains) a model and serves batched
+// predictions over HTTP JSON:
+//
+//	eigenpro serve [-model model.gob] [-addr :8095] [-max-latency 2ms]
+//	               [-queue 1024] [-workers 0] [-dataset mnist] [-n 1000]
 package main
 
 import (
@@ -18,6 +24,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
+	runTrain()
+}
+
+func runTrain() {
 	dataset := flag.String("dataset", "mnist", "dataset: mnist, cifar10, svhn, timit, susy, imagenet")
 	n := flag.Int("n", 2000, "number of samples to generate")
 	kernelName := flag.String("kernel", "gaussian", "kernel family: gaussian, laplacian, cauchy")

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"eigenpro"
+)
+
+// runServe implements the serve subcommand: load a saved model (or train a
+// fresh one on a synthetic dataset when -model is empty), register it, and
+// expose the batched prediction endpoint over HTTP.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelPath := fs.String("model", "", "gob model to serve (from eigenpro -save); empty trains a fresh one")
+	name := fs.String("name", "default", "name to register the model under")
+	addr := fs.String("addr", ":8095", "HTTP listen address")
+	maxLatency := fs.Duration("max-latency", 2*time.Millisecond, "micro-batch flush deadline")
+	maxBatch := fs.Int("max-batch", 0, "micro-batch size cap (0 = device m_max)")
+	queue := fs.Int("queue", 1024, "request queue depth per model (admission control)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline")
+	dataset := fs.String("dataset", "mnist", "fallback training dataset when -model is empty")
+	n := fs.Int("n", 1000, "fallback training samples")
+	sigma := fs.Float64("sigma", 5, "fallback training kernel bandwidth")
+	epochs := fs.Int("epochs", 5, "fallback training epochs")
+	seed := fs.Int64("seed", 1, "fallback training seed")
+	fs.Parse(args)
+
+	srv := eigenpro.NewServer(eigenpro.ServerConfig{
+		MaxBatch:   *maxBatch,
+		MaxLatency: *maxLatency,
+		QueueDepth: *queue,
+		Workers:    *workers,
+		Timeout:    *timeout,
+	})
+	defer srv.Close()
+
+	if *modelPath != "" {
+		if err := srv.LoadModelFile(*name, *modelPath); err != nil {
+			fmt.Fprintf(os.Stderr, "load model: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving model %q from %s\n", *name, *modelPath)
+	} else {
+		m, err := trainFallback(*dataset, *n, *sigma, *epochs, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "train fallback model: %v\n", err)
+			os.Exit(1)
+		}
+		if err := srv.Register(*name, m); err != nil {
+			fmt.Fprintf(os.Stderr, "register model: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving freshly trained %s model as %q\n", *dataset, *name)
+	}
+
+	mdl, _ := srv.Model(*name)
+	fmt.Printf("model: %d centers, %d features, %d outputs; device micro-batch m_max=%d\n",
+		mdl.X.Rows, mdl.X.Cols, mdl.Alpha.Cols,
+		eigenpro.SimTitanXp().ServeBatch(mdl.X.Rows, mdl.X.Cols, mdl.Alpha.Cols))
+	fmt.Printf("listening on %s — POST /v1/predict, GET /v1/stats\n", *addr)
+	if err := http.ListenAndServe(*addr, eigenpro.NewServerHandler(srv)); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// trainFallback trains a small model so the server is usable without a
+// saved artifact.
+func trainFallback(dataset string, n int, sigma float64, epochs int, seed int64) (*eigenpro.Model, error) {
+	var ds *eigenpro.Dataset
+	switch dataset {
+	case "mnist":
+		ds = eigenpro.MNISTLike(n, seed)
+	case "cifar10":
+		ds = eigenpro.CIFAR10Like(n, seed)
+	case "svhn":
+		ds = eigenpro.SVHNLike(n, seed)
+	case "timit":
+		ds = eigenpro.TIMITLike(n, seed)
+	case "susy":
+		ds = eigenpro.SUSYLike(n, seed)
+	case "imagenet":
+		ds = eigenpro.ImageNetFeaturesLike(n, seed)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	fmt.Printf("no -model given; training on %d %s-like samples...\n", ds.N(), dataset)
+	res, err := eigenpro.Train(eigenpro.Config{
+		Kernel: eigenpro.GaussianKernel(sigma),
+		Epochs: epochs,
+		Seed:   seed,
+	}, ds.X, ds.Y)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("trained to mse %.4g in %v wall\n", res.FinalTrainMSE, res.WallTime.Round(time.Millisecond))
+	return res.Model, nil
+}

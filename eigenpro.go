@@ -24,6 +24,7 @@ package eigenpro
 
 import (
 	"io"
+	"net/http"
 
 	"eigenpro/internal/core"
 	"eigenpro/internal/data"
@@ -33,6 +34,7 @@ import (
 	"eigenpro/internal/mat"
 	"eigenpro/internal/metrics"
 	"eigenpro/internal/parallel"
+	"eigenpro/internal/serve"
 	"eigenpro/internal/svm"
 )
 
@@ -157,6 +159,43 @@ var (
 	// LoadSpectrum reads a spectrum written by SaveSpectrum.
 	LoadSpectrum = core.LoadSpectrum
 )
+
+// Server is a concurrent model server that coalesces individual Predict
+// calls into micro-batches sized to the device model's maximum useful batch
+// m_max — the paper's batching discipline applied to the serving path. See
+// internal/serve for the batching, admission-control, and statistics
+// details.
+type Server = serve.Server
+
+// ServerConfig configures NewServer; zero values select the defaults
+// (simulated Titan Xp device, 2ms flush latency, GOMAXPROCS workers).
+type ServerConfig = serve.Config
+
+// ServerStats is a snapshot of a server's counters: throughput, p50/p99
+// latency, simulated device time, and the batch-occupancy histogram.
+type ServerStats = serve.Stats
+
+// Serving errors a caller can match with errors.Is.
+var (
+	// ErrServerOverloaded reports a queue-full admission rejection.
+	ErrServerOverloaded = serve.ErrOverloaded
+	// ErrServerClosed reports a request against a closed server.
+	ErrServerClosed = serve.ErrClosed
+	// ErrUnknownModel reports a request for an unregistered model name.
+	ErrUnknownModel = serve.ErrUnknownModel
+	// ErrRequestExpired reports a per-request deadline that lapsed while
+	// the request was queued.
+	ErrRequestExpired = serve.ErrDeadlineExceeded
+)
+
+// NewServer starts a batched inference server. Register models with
+// Server.Register or Server.LoadModel, predict with Server.Predict, and
+// inspect Server.Stats; call Close to release its goroutines.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// NewServerHandler exposes a server over HTTP JSON (POST /v1/predict,
+// GET /v1/models, PUT /v1/models/{name}, GET /v1/stats, GET /healthz).
+func NewServerHandler(s *Server) http.Handler { return serve.NewHandler(s) }
 
 // NewDeviceGroup composes count identical devices into one data-parallel
 // resource (the paper's §6 multi-GPU direction).

@@ -1,0 +1,3 @@
+module eigenpro
+
+go 1.21

@@ -1,0 +1,54 @@
+package bench
+
+import "testing"
+
+// TestServingThroughputRuns checks the serving study end to end and the
+// PR's acceptance criterion: batched serving must deliver at least 3x the
+// unbatched single-request throughput (in simulated device time) at 64
+// concurrent clients on the simulated Titan Xp.
+func TestServingThroughputRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	points, err := ServingStudy(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("want 6 points (3 client counts x 2 modes), got %d", len(points))
+	}
+	var un, ba *ServingPoint
+	for i := range points {
+		p := &points[i]
+		if p.Clients == 64 {
+			if p.Batched {
+				ba = p
+			} else {
+				un = p
+			}
+		}
+	}
+	if un == nil || ba == nil {
+		t.Fatalf("missing 64-client points: %+v", points)
+	}
+	if un.MeanOccupancy != 1 {
+		t.Fatalf("unbatched baseline coalesced: mean occupancy %.1f", un.MeanOccupancy)
+	}
+	if ba.MeanOccupancy <= 1 {
+		t.Fatalf("batched mode never coalesced: mean occupancy %.1f", ba.MeanOccupancy)
+	}
+	speedup := ba.SimThroughput / un.SimThroughput
+	if speedup < 3 {
+		t.Fatalf("batched/unbatched device throughput = %.2fx at 64 clients, want >= 3x "+
+			"(batched %.0f req/s, unbatched %.0f req/s)",
+			speedup, ba.SimThroughput, un.SimThroughput)
+	}
+
+	rep, err := ServingThroughput(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("report rows = %d, want 6", len(rep.Rows))
+	}
+}

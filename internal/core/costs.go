@@ -14,6 +14,12 @@ func SGDIterOps(n, m, d, l int) float64 {
 	return float64(n) * float64(m) * float64(d+l)
 }
 
+// PredictOps returns the operations of one blocked kernel-GEMM prediction
+// of an m-row query batch against an n-center model: n·m·(d+l) — the same
+// count as the kernel-row and prediction terms of an SGD iteration. The
+// serving subsystem charges this to the simulated device per micro-batch.
+func PredictOps(n, m, d, l int) float64 { return SGDIterOps(n, m, d, l) }
+
 // ImprovedEigenProIterOps returns the operations of one improved EigenPro
 // (Algorithm 1) iteration: SGD cost plus the s·m·q fixed-block correction.
 func ImprovedEigenProIterOps(n, m, d, l, s, q int) float64 {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"eigenpro/internal/kernel"
 	"eigenpro/internal/mat"
@@ -31,23 +33,68 @@ func NewModel(k kernel.Func, x *mat.Dense, labels int) *Model {
 // xq.Rows x l matrix. Large query sets are processed in row blocks to bound
 // the size of the intermediate kernel matrix.
 func (m *Model) Predict(xq *mat.Dense) *mat.Dense {
+	return m.PredictBatch(xq, 0)
+}
+
+// defaultPredictChunk bounds the rows of one blocked kernel-GEMM evaluation
+// so the intermediate chunk x n kernel matrix stays cache- and
+// memory-friendly.
+const defaultPredictChunk = 2048
+
+// PredictBatch evaluates the model on the rows of xq in row chunks of the
+// given size (<= 0 selects the default), fanning independent chunks out to
+// parallel goroutines. Each chunk is one blocked kernel-GEMM evaluation:
+// a chunk x n kernel matrix followed by a chunk x l coefficient product.
+// This is the serving fast path; Predict delegates to it.
+func (m *Model) PredictBatch(xq *mat.Dense, chunk int) *mat.Dense {
 	if xq.Cols != m.X.Cols {
 		panic(fmt.Sprintf("core: Predict on %d features, model has %d", xq.Cols, m.X.Cols))
 	}
-	const block = 2048
+	if chunk <= 0 {
+		chunk = defaultPredictChunk
+	}
 	out := mat.NewDense(xq.Rows, m.Alpha.Cols)
-	for lo := 0; lo < xq.Rows; lo += block {
-		hi := lo + block
+	if xq.Rows == 0 {
+		return out
+	}
+	if xq.Rows <= chunk {
+		m.predictChunkInto(out, xq)
+		return out
+	}
+	// The kernel and GEMM primitives already fan each chunk out across
+	// GOMAXPROCS row workers, so chunk-level concurrency only buys overlap
+	// of their serial sections. Cap it low: more would oversubscribe the
+	// scheduler (up to GOMAXPROCS² runnable goroutines) and multiply peak
+	// kernel-matrix memory, which stays at O(cap · chunk · n) floats.
+	maxInflight := runtime.GOMAXPROCS(0)
+	if maxInflight > 4 {
+		maxInflight = 4
+	}
+	sem := make(chan struct{}, maxInflight)
+	var wg sync.WaitGroup
+	for lo := 0; lo < xq.Rows; lo += chunk {
+		hi := lo + chunk
 		if hi > xq.Rows {
 			hi = xq.Rows
 		}
-		kb := kernel.Matrix(m.Kern, xq.SliceRows(lo, hi), m.X)
-		pb := mat.Mul(kb, m.Alpha)
-		for i := lo; i < hi; i++ {
-			copy(out.RowView(i), pb.RowView(i-lo))
-		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			src := mat.NewDenseData(hi-lo, xq.Cols, xq.Data[lo*xq.Cols:hi*xq.Cols])
+			dst := mat.NewDenseData(hi-lo, out.Cols, out.Data[lo*out.Cols:hi*out.Cols])
+			m.predictChunkInto(dst, src)
+		}(lo, hi)
 	}
+	wg.Wait()
 	return out
+}
+
+// predictChunkInto computes dst = K(block, X) · Alpha for one row block.
+func (m *Model) predictChunkInto(dst, block *mat.Dense) {
+	kb := kernel.Matrix(m.Kern, block, m.X)
+	mat.MulTo(dst, kb, m.Alpha)
 }
 
 // PredictLabels returns the argmax class index of each prediction row.

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+)
+
+func randModel(rng *rand.Rand, centers, dim, labels int) *Model {
+	m := NewModel(kernel.Gaussian{Sigma: 1.5}, randDense(rng, centers, dim), labels)
+	for i := range m.Alpha.Data {
+		m.Alpha.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randDense(rng *rand.Rand, r, c int) *mat.Dense {
+	d := mat.NewDense(r, c)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	return d
+}
+
+// predictNaive is the reference: evaluate every (query, center) kernel
+// entry and contract with Alpha, no blocking or goroutines.
+func predictNaive(m *Model, xq *mat.Dense) *mat.Dense {
+	out := mat.NewDense(xq.Rows, m.Alpha.Cols)
+	for i := 0; i < xq.Rows; i++ {
+		for c := 0; c < m.X.Rows; c++ {
+			k := m.Kern.Eval(xq.RowView(i), m.X.RowView(c))
+			for j := 0; j < m.Alpha.Cols; j++ {
+				out.Data[i*out.Cols+j] += k * m.Alpha.At(c, j)
+			}
+		}
+	}
+	return out
+}
+
+func TestPredictBatchMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randModel(rng, 37, 6, 4)
+	xq := randDense(rng, 53, 6)
+	want := predictNaive(m, xq)
+	// Chunk sizes exercising: single chunk, uneven tail, chunk=1, and the
+	// default.
+	for _, chunk := range []int{0, 1, 7, 53, 64} {
+		got := m.PredictBatch(xq, chunk)
+		if !mat.Equal(got, want, 1e-10) {
+			t.Fatalf("chunk=%d: PredictBatch diverges from naive prediction", chunk)
+		}
+	}
+	if got := m.Predict(xq); !mat.Equal(got, want, 1e-10) {
+		t.Fatal("Predict diverges from naive prediction")
+	}
+}
+
+func TestPredictBatchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randModel(rng, 10, 3, 2)
+	if out := m.PredictBatch(mat.NewDense(0, 3), 4); out.Rows != 0 || out.Cols != 2 {
+		t.Fatalf("empty query: got %dx%d", out.Rows, out.Cols)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("feature mismatch did not panic")
+		}
+	}()
+	m.PredictBatch(mat.NewDense(1, 4), 0)
+}
+
+func TestPredictOps(t *testing.T) {
+	if got, want := PredictOps(100, 8, 20, 5), float64(100*8*25); got != want {
+		t.Fatalf("PredictOps = %v, want %v", got, want)
+	}
+	if PredictOps(100, 8, 20, 5) != SGDIterOps(100, 8, 20, 5) {
+		t.Fatal("PredictOps must match the SGD kernel+prediction cost")
+	}
+}

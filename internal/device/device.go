@@ -143,19 +143,30 @@ func (d *Device) BatchMemory(n, dim, labels int) int {
 
 // MaxBatch returns m_max = min(m_C, m_S) clamped to [1, n], the batch size
 // that fully utilizes the device for an n-sample, dim-feature,
-// labels-output workload (paper Step 1: m_max = min{m_C, m_S}).
+// labels-output workload (paper Step 1: m_max = min{m_C, m_S}). It is
+// ServeBatch clamped to the training-set size: a training mini-batch cannot
+// exceed n.
 func (d *Device) MaxBatch(n, dim, labels int) int {
-	mc := d.BatchCompute(n, dim, labels)
-	ms := d.BatchMemory(n, dim, labels)
-	m := mc
-	if ms < m {
+	m := d.ServeBatch(n, dim, labels)
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// ServeBatch returns the inference analogue of MaxBatch: the largest
+// query-batch size m that fully utilizes the device when predicting with a
+// model of n centers, dim features, and labels outputs. The per-row work
+// (n·(d+l)) and working set ((d+l+m)·n) match the training formulas, but
+// the result is not clamped to n — a serving batch coalesces independent
+// queries, so its size is unrelated to the training-set size. At least 1.
+func (d *Device) ServeBatch(n, dim, labels int) int {
+	m := d.BatchCompute(n, dim, labels)
+	if ms := d.BatchMemory(n, dim, labels); ms < m {
 		m = ms
 	}
 	if m < 1 {
 		m = 1
-	}
-	if m > n {
-		m = n
 	}
 	return m
 }

@@ -226,3 +226,29 @@ func abs(x float64) float64 {
 	}
 	return x
 }
+
+func TestServeBatch(t *testing.T) {
+	d := SimTitanXp()
+	n, dim, labels := 800, 784, 10
+	got := d.ServeBatch(n, dim, labels)
+	if mc := d.BatchCompute(n, dim, labels); got != mc {
+		t.Fatalf("ServeBatch = %d, want compute-bound %d", got, mc)
+	}
+	// Unlike MaxBatch, ServeBatch is not clamped to n: a tiny model can
+	// still coalesce a huge query batch.
+	small := d.ServeBatch(10, 4, 2)
+	if small <= 10 {
+		t.Fatalf("ServeBatch clamped to center count: %d", small)
+	}
+	// Memory-bound regime: shrink device memory until m_S < m_C.
+	tight := *d
+	tight.MemoryFloats = int64((784+10)*800) + 5*800
+	if got := tight.ServeBatch(n, dim, labels); got != 5 {
+		t.Fatalf("memory-bound ServeBatch = %d, want 5", got)
+	}
+	// Degenerate: data alone overflows memory → still at least 1.
+	tight.MemoryFloats = 10
+	if got := tight.ServeBatch(n, dim, labels); got != 1 {
+		t.Fatalf("overflow ServeBatch = %d, want 1", got)
+	}
+}

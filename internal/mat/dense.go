@@ -120,6 +120,20 @@ func (a *Dense) SliceRows(from, to int) *Dense {
 	return out
 }
 
+// StackRows copies the given rows (each of length cols) into one contiguous
+// rows x cols matrix — the coalescing step that turns queued per-request
+// feature vectors into a single GEMM operand.
+func StackRows(rows [][]float64, cols int) *Dense {
+	out := NewDense(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("mat: StackRows row %d has %d values, want %d", i, len(r), cols))
+		}
+		copy(out.RowView(i), r)
+	}
+	return out
+}
+
 // SelectRows gathers the given rows of a into a new len(idx) x Cols matrix.
 func (a *Dense) SelectRows(idx []int) *Dense {
 	out := NewDense(len(idx), a.Cols)

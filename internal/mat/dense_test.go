@@ -205,3 +205,27 @@ func TestFillZeroCopyFrom(t *testing.T) {
 		t.Fatal("CopyFrom must copy, not alias")
 	}
 }
+
+func TestStackRows(t *testing.T) {
+	got := StackRows([][]float64{{1, 2}, {3, 4}, {5, 6}}, 2)
+	want := NewDenseData(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	if !Equal(got, want, 0) {
+		t.Fatalf("StackRows = %v", got.Data)
+	}
+	if empty := StackRows(nil, 3); empty.Rows != 0 || empty.Cols != 3 {
+		t.Fatalf("empty StackRows: %dx%d", empty.Rows, empty.Cols)
+	}
+	// Rows are copied, not aliased.
+	src := []float64{7, 8}
+	m := StackRows([][]float64{src}, 2)
+	src[0] = 99
+	if m.At(0, 0) != 7 {
+		t.Fatal("StackRows aliased its input row")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged row did not panic")
+		}
+	}()
+	StackRows([][]float64{{1}}, 2)
+}

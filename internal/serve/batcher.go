@@ -1,0 +1,91 @@
+package serve
+
+import "time"
+
+// request is one queued Predict call.
+type request struct {
+	x        []float64
+	enq      time.Time
+	deadline time.Time // zero means none
+	out      []float64
+	err      error
+	done     chan struct{}
+}
+
+// fail completes the request with an error.
+func (r *request) fail(err error) {
+	r.err = err
+	close(r.done)
+}
+
+// batch is one coalesced micro-batch handed to the worker pool.
+type batch struct {
+	entry *entry
+	reqs  []*request
+}
+
+// runBatcher is the per-model coalescing loop: it blocks for the first
+// request, then gathers more until the batch reaches the model's m_max or
+// the first request has waited MaxLatency, and dispatches the result to the
+// worker pool. One goroutine per registry entry.
+func (s *Server) runBatcher(e *entry) {
+	defer s.collWG.Done()
+	for {
+		select {
+		case first := <-e.queue:
+			s.dispatch(&batch{entry: e, reqs: s.gather(e, first)})
+		case <-s.done:
+			s.drain(e)
+			return
+		}
+	}
+}
+
+// gather coalesces requests behind first until the batch is full or
+// MaxLatency has elapsed since first arrived.
+func (s *Server) gather(e *entry, first *request) []*request {
+	max := int(e.maxBatch.Load())
+	reqs := append(make([]*request, 0, max), first)
+	if max <= 1 {
+		return reqs
+	}
+	// The latency bound is anchored at the first request's enqueue time,
+	// not at batcher pickup: time already spent waiting in the queue
+	// counts against its MaxLatency window. A non-positive remainder
+	// fires the timer immediately.
+	timer := time.NewTimer(s.cfg.MaxLatency - time.Since(first.enq))
+	defer timer.Stop()
+	for len(reqs) < max {
+		select {
+		case r := <-e.queue:
+			reqs = append(reqs, r)
+		case <-timer.C:
+			return reqs
+		case <-s.done:
+			return reqs
+		}
+	}
+	return reqs
+}
+
+// dispatch hands a batch to the worker pool. During shutdown the workers
+// are still draining s.work (Close waits for the batchers before closing
+// it), so this send cannot block forever.
+func (s *Server) dispatch(b *batch) {
+	if len(b.reqs) == 0 {
+		return
+	}
+	s.work <- b
+}
+
+// drain fails whatever is left in the queue at shutdown.
+func (s *Server) drain(e *entry) {
+	for {
+		select {
+		case r := <-e.queue:
+			r.fail(ErrClosed)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"eigenpro/internal/mat"
+)
+
+// NewHandler exposes a Server over HTTP JSON:
+//
+//	POST /v1/predict        {"model":"m","x":[...]} or {"model":"m","xs":[[...],...]}
+//	GET  /v1/models         list registered model names
+//	PUT  /v1/models/{name}  gob model body (core.SaveModel) → register/hot-swap
+//	GET  /v1/stats          serving counters
+//	GET  /healthz           liveness
+//
+// Each row of a predict request is routed through the batcher individually,
+// so concurrent HTTP clients (and the rows of one multi-row request)
+// coalesce into shared device-saturating micro-batches.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		handlePredict(s, w, r)
+	})
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, map[string]any{"models": s.Models()})
+	})
+	mux.HandleFunc("/v1/models/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPut {
+			httpError(w, http.StatusMethodNotAllowed, "PUT only")
+			return
+		}
+		name := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+		if name == "" || strings.Contains(name, "/") {
+			httpError(w, http.StatusBadRequest, "model name required")
+			return
+		}
+		if err := s.LoadModel(name, r.Body); err != nil {
+			httpError(w, http.StatusBadRequest, "load model: %v", err)
+			return
+		}
+		writeJSON(w, map[string]any{"registered": name})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// predictRequest is the POST /v1/predict body; X carries one query, XS a
+// batch. Model defaults to "default".
+type predictRequest struct {
+	Model string      `json:"model,omitempty"`
+	X     []float64   `json:"x,omitempty"`
+	XS    [][]float64 `json:"xs,omitempty"`
+}
+
+// predictResponse is the POST /v1/predict reply: one output row and argmax
+// label per query row.
+type predictResponse struct {
+	Model  string      `json:"model"`
+	Y      [][]float64 `json:"y"`
+	Labels []int       `json:"labels"`
+}
+
+func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	if req.Model == "" {
+		req.Model = "default"
+	}
+	rows := req.XS
+	if len(req.X) > 0 {
+		rows = append(rows, req.X)
+	}
+	if len(rows) == 0 {
+		httpError(w, http.StatusBadRequest, "empty request: provide x or xs")
+		return
+	}
+	resp := predictResponse{
+		Model:  req.Model,
+		Y:      make([][]float64, len(rows)),
+		Labels: make([]int, len(rows)),
+	}
+	// Rows go through Server.Predict concurrently so they coalesce into
+	// micro-batches with each other and with other in-flight requests.
+	errs := make([]error, len(rows))
+	var wg sync.WaitGroup
+	for i, x := range rows {
+		wg.Add(1)
+		go func(i int, x []float64) {
+			defer wg.Done()
+			out, err := s.Predict(r.Context(), req.Model, x)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Y[i] = out
+			resp.Labels[i] = mat.ArgMaxRow(out)
+		}(i, x)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			httpError(w, statusFor(err), "%v", err)
+			return
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// statusFor maps request-path errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing useful left to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eigenpro/internal/core"
+	"eigenpro/internal/mat"
+)
+
+func TestHTTPPredictAndStats(t *testing.T) {
+	m := testModel(25, 4, 3, 11)
+	s := newTestServer(t, Config{})
+	if err := s.Register("default", m); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	body, _ := json.Marshal(predictRequest{XS: [][]float64{
+		{0.1, 0.2, 0.3, 0.4},
+		{0.5, 0.6, 0.7, 0.8},
+	}})
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Y) != 2 || len(pr.Labels) != 2 {
+		t.Fatalf("bad response shape: %+v", pr)
+	}
+	want := m.Predict(mat.StackRows([][]float64{{0.1, 0.2, 0.3, 0.4}, {0.5, 0.6, 0.7, 0.8}}, 4))
+	for i := range pr.Y {
+		if !rowNear(pr.Y[i], want.RowView(i)) {
+			t.Fatalf("row %d: got %v want %v", i, pr.Y[i], want.RowView(i))
+		}
+		if pr.Labels[i] != mat.ArgMaxRow(want.RowView(i)) {
+			t.Fatalf("row %d label: got %d", i, pr.Labels[i])
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 {
+		t.Fatalf("stats over HTTP: %+v", st)
+	}
+}
+
+func TestHTTPModelUploadHotSwap(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	m := testModel(12, 3, 2, 13)
+	var buf bytes.Buffer
+	if err := core.SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/fresh", bytes.NewReader(buf.Bytes()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var models struct{ Models []string }
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models.Models) != 1 || models.Models[0] != "fresh" {
+		t.Fatalf("models list: %v", models.Models)
+	}
+
+	body, _ := json.Marshal(predictRequest{Model: "fresh", X: []float64{1, 2, 3}})
+	resp, err = http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict against uploaded model: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"model":"ghost","x":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model over HTTP: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty request: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+}

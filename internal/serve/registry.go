@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"eigenpro/internal/core"
+)
+
+// entry is one named model slot: the hot-swappable model pointer, its
+// bounded request queue, and the micro-batch size derived from the device
+// model for the model's shape. The queue and its batcher goroutine outlive
+// swaps — only the model pointer and batch size change.
+type entry struct {
+	name     string
+	model    atomic.Pointer[core.Model]
+	maxBatch atomic.Int64
+	queue    chan *request
+}
+
+// Registry maps names to hot-swappable models. Swapping is atomic with
+// respect to the request path: each micro-batch executes entirely against
+// the model pointer it loads at execution time.
+type Registry struct {
+	srv     *Server
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+func newRegistry(s *Server) *Registry {
+	return &Registry{srv: s, entries: make(map[string]*entry)}
+}
+
+// register installs or replaces the model under name, starting the entry's
+// batcher on first registration.
+func (r *Registry) register(name string, m *core.Model) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		e = &entry{name: name, queue: make(chan *request, r.srv.cfg.QueueDepth)}
+		r.entries[name] = e
+		r.srv.collWG.Add(1)
+		go r.srv.runBatcher(e)
+	}
+	e.model.Store(m)
+	e.maxBatch.Store(int64(r.srv.maxBatchFor(m)))
+	return nil
+}
+
+// entry returns the slot for name.
+func (r *Registry) entry(name string) (*entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// model returns the current model for name.
+func (r *Registry) model(name string) (*core.Model, bool) {
+	e, ok := r.entry(name)
+	if !ok {
+		return nil, false
+	}
+	return e.model.Load(), true
+}
+
+// names returns the registered names, sorted.
+func (r *Registry) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadModel reads a gob model (written by core.SaveModel) from r and
+// registers it under name — the deployment path: train once, serve from any
+// later process, hot-swap on retrain.
+func (s *Server) LoadModel(name string, r io.Reader) error {
+	m, err := core.LoadModel(r)
+	if err != nil {
+		return err
+	}
+	return s.Register(name, m)
+}
+
+// LoadModelFile is LoadModel reading from a file path.
+func (s *Server) LoadModelFile(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.LoadModel(name, f)
+}

@@ -1,0 +1,290 @@
+// Package serve is the batched inference serving subsystem: a concurrent
+// model server whose request path coalesces individual Predict calls into
+// micro-batches sized to the device model's maximum useful batch m_max.
+//
+// The paper's central observation — that a parallel device retires a whole
+// wave of work in constant time, so batches below m_max waste the hardware —
+// applies to inference exactly as it does to training. A lone prediction
+// against an n-center model performs n·(d+l) multiply-adds, typically a
+// small fraction of one execution wave; serving requests one at a time pays
+// a full launch overhead plus wave per request. This package therefore
+// queues concurrent requests per model and flushes them as one blocked
+// kernel-GEMM evaluation when either the batch reaches m_max (computed from
+// the same device cost accounting core.SelectParams uses for training) or
+// the oldest queued request has waited MaxLatency.
+//
+// Components:
+//
+//   - batcher: per-model bounded queue, max-latency flush, m_max-sized
+//     coalescing (batcher.go)
+//   - worker pool: executes coalesced batches with Model.PredictBatch and
+//     charges the simulated device clock (serve.go)
+//   - Registry: named, hot-swappable models (registry.go)
+//   - admission control: queue-full rejection and per-request deadlines
+//   - Stats: throughput, latency quantiles, batch-occupancy histogram
+//     (stats.go)
+//   - HTTP JSON endpoint (http.go)
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eigenpro/internal/core"
+	"eigenpro/internal/device"
+	"eigenpro/internal/mat"
+)
+
+// Errors returned by the request path.
+var (
+	// ErrOverloaded reports that the model's request queue is full; the
+	// caller should shed load or retry with backoff.
+	ErrOverloaded = errors.New("serve: queue full, request rejected")
+	// ErrClosed reports a Predict against a closed server.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrUnknownModel reports a request for a model name that was never
+	// registered.
+	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrDeadlineExceeded reports that a request expired while queued,
+	// before any device work was spent on it.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded in queue")
+)
+
+// Config configures a Server; zero values select the defaults.
+type Config struct {
+	// Device is the device model whose cost accounting sizes micro-batches;
+	// nil selects device.SimTitanXp.
+	Device *device.Device
+	// MaxBatch overrides the per-model m_max = Device.ServeBatch when > 0.
+	MaxBatch int
+	// MaxLatency is the flush deadline: a non-full batch is dispatched once
+	// its oldest request has waited this long. <= 0 selects
+	// DefaultMaxLatency.
+	MaxLatency time.Duration
+	// QueueDepth bounds each model's request queue (admission control);
+	// <= 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// Workers is the size of the execution pool; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// Timeout is the default per-request deadline applied when the caller's
+	// context has none. 0 selects DefaultTimeout; < 0 disables the default.
+	Timeout time.Duration
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxLatency = 2 * time.Millisecond
+	DefaultQueueDepth = 1024
+	DefaultTimeout    = 2 * time.Second
+)
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.Device == nil {
+		c.Device = device.SimTitanXp()
+	}
+	if c.MaxLatency <= 0 {
+		c.MaxLatency = DefaultMaxLatency
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.Timeout == 0:
+		c.Timeout = DefaultTimeout
+	case c.Timeout < 0:
+		c.Timeout = 0
+	}
+	return c
+}
+
+// Server coalesces concurrent Predict calls into device-saturating
+// micro-batches over a registry of named models.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	work  chan *batch
+	stats *statsCore
+
+	done    chan struct{}
+	closed  atomic.Bool
+	collWG  sync.WaitGroup // batcher goroutines, one per model entry
+	workWG  sync.WaitGroup // worker pool
+	closeMu sync.Mutex
+}
+
+// New starts a server with the given configuration. Close releases its
+// goroutines.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		work:  make(chan *batch, cfg.Workers),
+		stats: newStatsCore(cfg.Device),
+		done:  make(chan struct{}),
+	}
+	s.reg = newRegistry(s)
+	s.workWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go func() {
+			defer s.workWG.Done()
+			for b := range s.work {
+				s.execute(b)
+			}
+		}()
+	}
+	return s
+}
+
+// Register installs (or hot-swaps) the model under the given name. The
+// micro-batch size for the name is recomputed from the device model and the
+// new model's shape; requests already coalesced against the previous model
+// complete against it.
+func (s *Server) Register(name string, m *core.Model) error {
+	// Serialized with Close so a first-time registration cannot add to
+	// collWG concurrently with Close's Wait.
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if m == nil || m.X == nil || m.Alpha == nil {
+		return fmt.Errorf("serve: Register %q: nil model", name)
+	}
+	return s.reg.register(name, m)
+}
+
+// Model returns the currently registered model for name.
+func (s *Server) Model(name string) (*core.Model, bool) { return s.reg.model(name) }
+
+// Models returns the registered model names, sorted.
+func (s *Server) Models() []string { return s.reg.names() }
+
+// maxBatchFor returns the micro-batch size used for a model of the given
+// shape.
+func (s *Server) maxBatchFor(m *core.Model) int {
+	if s.cfg.MaxBatch > 0 {
+		return s.cfg.MaxBatch
+	}
+	return s.cfg.Device.ServeBatch(m.X.Rows, m.X.Cols, m.Alpha.Cols)
+}
+
+// Predict routes one feature vector through the model's batcher and waits
+// for the micro-batch carrying it to execute. It returns the prediction row
+// (length = the model's label dimension), or ErrOverloaded / ErrUnknownModel
+// / ErrDeadlineExceeded / the context's error.
+func (s *Server) Predict(ctx context.Context, name string, x []float64) ([]float64, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	e, ok := s.reg.entry(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if m := e.model.Load(); len(x) != m.X.Cols {
+		return nil, fmt.Errorf("serve: model %q wants %d features, got %d", name, m.X.Cols, len(x))
+	}
+	req := &request{x: x, enq: time.Now(), done: make(chan struct{})}
+	if d, ok := ctx.Deadline(); ok {
+		req.deadline = d
+	} else if s.cfg.Timeout > 0 {
+		req.deadline = req.enq.Add(s.cfg.Timeout)
+	}
+	select {
+	case e.queue <- req:
+	default:
+		s.stats.recordRejected()
+		return nil, ErrOverloaded
+	}
+	select {
+	case <-req.done:
+		return req.out, req.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.done:
+		return nil, ErrClosed
+	}
+}
+
+// PredictLabel is Predict followed by argmax over the output row.
+func (s *Server) PredictLabel(ctx context.Context, name string, x []float64) (int, error) {
+	out, err := s.Predict(ctx, name, x)
+	if err != nil {
+		return 0, err
+	}
+	return mat.ArgMaxRow(out), nil
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// Close stops the batchers and workers. Queued requests fail with
+// ErrClosed; in-flight batches complete. Close is idempotent.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.done)
+	s.collWG.Wait()
+	close(s.work)
+	s.workWG.Wait()
+}
+
+// execute runs one coalesced micro-batch on the worker pool: drop expired
+// or mismatched requests, stack the survivors into one GEMM operand,
+// predict, charge the simulated device, and complete the waiters.
+func (s *Server) execute(b *batch) {
+	m := b.entry.model.Load()
+	now := time.Now()
+	live := b.reqs[:0]
+	for _, r := range b.reqs {
+		switch {
+		case !r.deadline.IsZero() && now.After(r.deadline):
+			// Count before completing: a waiter that wakes on done must
+			// already see itself in the stats snapshot.
+			s.stats.recordExpired()
+			r.fail(ErrDeadlineExceeded)
+		case len(r.x) != m.X.Cols:
+			// The model was hot-swapped to a different shape between
+			// enqueue and execution.
+			r.fail(fmt.Errorf("serve: model %q wants %d features, got %d", b.entry.name, m.X.Cols, len(r.x)))
+		default:
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	rows := make([][]float64, len(live))
+	for i, r := range live {
+		rows[i] = r.x
+	}
+	xq := mat.StackRows(rows, m.X.Cols)
+	out := m.PredictBatch(xq, 0)
+	s.stats.charge(core.PredictOps(m.X.Rows, len(live), m.X.Cols, m.Alpha.Cols))
+	// Count everything before completing any request: a waiter that wakes
+	// on done must already see itself and its batch in the stats snapshot.
+	done := time.Now()
+	for _, r := range live {
+		s.stats.recordDone(done.Sub(r.enq))
+	}
+	s.stats.recordBatch(len(live))
+	for i, r := range live {
+		// Copy the row: handing out a RowView would alias the whole batch
+		// matrix across callers (and let one caller's append clobber
+		// another's result).
+		r.out = append([]float64(nil), out.RowView(i)...)
+		close(r.done)
+	}
+}

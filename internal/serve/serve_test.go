@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eigenpro/internal/core"
+	"eigenpro/internal/device"
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/mat"
+)
+
+// testModel builds a deterministic Gaussian-kernel model without training.
+func testModel(centers, dim, labels int, seed uint64) *core.Model {
+	x := mat.NewDense(centers, dim)
+	a := mat.NewDense(centers, labels)
+	state := seed*2862933555777941757 + 3037000493
+	next := func() float64 {
+		state = state*2862933555777941757 + 3037000493
+		return float64(state>>11) / float64(1<<53)
+	}
+	for i := range x.Data {
+		x.Data[i] = next()
+	}
+	for i := range a.Data {
+		a.Data[i] = 2*next() - 1
+	}
+	return &core.Model{Kern: kernel.Gaussian{Sigma: 2}, X: x, Alpha: a}
+}
+
+// slowKernel stalls every evaluation; with a single-center model one
+// prediction costs exactly one delay.
+type slowKernel struct{ d time.Duration }
+
+func (k slowKernel) Eval(x, z []float64) float64 { time.Sleep(k.d); return 1 }
+func (k slowKernel) Name() string                { return "slow" }
+
+func slowModel(d time.Duration) *core.Model {
+	return &core.Model{
+		Kern:  slowKernel{d: d},
+		X:     mat.NewDenseData(1, 2, []float64{0, 0}),
+		Alpha: mat.NewDenseData(1, 1, []float64{1}),
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestPredictMatchesModel(t *testing.T) {
+	m := testModel(40, 5, 3, 1)
+	s := newTestServer(t, Config{})
+	if err := s.Register("default", m); err != nil {
+		t.Fatal(err)
+	}
+	q := testModel(8, 5, 1, 7).X // 8 query rows
+	want := m.Predict(q)
+	for i := 0; i < q.Rows; i++ {
+		got, err := s.Predict(context.Background(), "default", q.RowView(i))
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		for j, v := range got {
+			if math.Abs(v-want.At(i, j)) > 1e-12 {
+				t.Fatalf("row %d col %d: got %v want %v", i, j, v, want.At(i, j))
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Requests != int64(q.Rows) {
+		t.Fatalf("stats.Requests = %d, want %d", st.Requests, q.Rows)
+	}
+	if st.SimTime <= 0 || st.Batches == 0 {
+		t.Fatalf("stats missing device accounting: %+v", st)
+	}
+}
+
+func TestBatcherFlushBySize(t *testing.T) {
+	// With an effectively infinite flush latency, the only way the batch
+	// can be dispatched is by filling up to MaxBatch.
+	const size = 4
+	s := newTestServer(t, Config{MaxBatch: size, MaxLatency: time.Hour, Timeout: -1})
+	if err := s.Register("m", testModel(10, 3, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Predict(context.Background(), "m", []float64{1, 2, 3}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never flushed at size")
+	}
+	st := s.Stats()
+	if st.Batches != 1 || st.MeanOccupancy != size {
+		t.Fatalf("want one full batch of %d, got %d batches, mean occupancy %.1f",
+			size, st.Batches, st.MeanOccupancy)
+	}
+}
+
+func TestBatcherFlushByDeadline(t *testing.T) {
+	// Far fewer requests than MaxBatch: only the MaxLatency timer can
+	// flush them, and they must all ride the same micro-batch.
+	s := newTestServer(t, Config{MaxBatch: 64, MaxLatency: 50 * time.Millisecond})
+	if err := s.Register("m", testModel(10, 3, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Predict(context.Background(), "m", []float64{0, 1, 2}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline flush took %v", elapsed)
+	}
+	st := s.Stats()
+	if st.Batches != 1 || st.MeanOccupancy != 3 {
+		t.Fatalf("want one deadline-flushed batch of 3, got %d batches, mean occupancy %.1f",
+			st.Batches, st.MeanOccupancy)
+	}
+}
+
+func TestRegistryHotSwapUnderConcurrentPredicts(t *testing.T) {
+	mA := testModel(30, 4, 2, 10)
+	mB := testModel(30, 4, 2, 20) // same shape, different centers/weights
+	s := newTestServer(t, Config{MaxLatency: 200 * time.Microsecond})
+	if err := s.Register("m", mA); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.1, 0.2, 0.3, 0.4}
+	wantA := mA.Predict(mat.NewDenseData(1, 4, q)).RowView(0)
+	wantB := mB.Predict(mat.NewDenseData(1, 4, q)).RowView(0)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				out, err := s.Predict(context.Background(), "m", q)
+				if err != nil {
+					t.Errorf("predict during swap: %v", err)
+					return
+				}
+				if !rowNear(out, wantA) && !rowNear(out, wantB) {
+					t.Errorf("prediction matches neither model: %v", out)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		m := mA
+		if i%2 == 0 {
+			m = mB
+		}
+		if err := s.Register("m", m); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if err := s.Register("m", mB); err != nil {
+		t.Fatal(err)
+	}
+	// Last swap installed mB; a fresh request must see it.
+	out, err := s.Predict(context.Background(), "m", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowNear(out, wantB) {
+		t.Fatalf("after final swap got %v, want %v", out, wantB)
+	}
+}
+
+func rowNear(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBackpressureRejection(t *testing.T) {
+	// One slow worker and a depth-1 queue: flooding must trip admission
+	// control rather than queue without bound.
+	s := newTestServer(t, Config{
+		QueueDepth: 1, Workers: 1, MaxBatch: 1, Timeout: -1,
+		MaxLatency: time.Millisecond,
+	})
+	if err := s.Register("m", slowModel(30*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	const flood = 16
+	var rejected, completed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Predict(context.Background(), "m", []float64{0, 0})
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				rejected.Add(1)
+			case err == nil:
+				completed.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if rejected.Load() == 0 {
+		t.Fatalf("no rejections from a depth-1 queue under %d concurrent requests", flood)
+	}
+	if completed.Load() == 0 {
+		t.Fatal("every request was rejected; the queue admitted nothing")
+	}
+	if st := s.Stats(); st.Rejected != rejected.Load() {
+		t.Fatalf("stats.Rejected = %d, callers saw %d", st.Rejected, rejected.Load())
+	}
+}
+
+func TestQueuedDeadlineExpires(t *testing.T) {
+	// The first request occupies the single worker long enough for the
+	// second's per-request deadline to lapse while it is still queued.
+	s := newTestServer(t, Config{
+		Workers: 1, MaxBatch: 1, QueueDepth: 8,
+		MaxLatency: time.Millisecond, Timeout: 40 * time.Millisecond,
+	})
+	if err := s.Register("m", slowModel(150*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Predict(context.Background(), "m", []float64{0, 0}); err != nil {
+			t.Errorf("first request: %v", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // ensure the slow request is in flight
+	_, err := s.Predict(context.Background(), "m", []float64{0, 0})
+	wg.Wait()
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("queued request returned %v, want ErrDeadlineExceeded", err)
+	}
+	if st := s.Stats(); st.Expired != 1 {
+		t.Fatalf("stats.Expired = %d, want 1", st.Expired)
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if _, err := s.Predict(context.Background(), "nope", []float64{1}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model: got %v", err)
+	}
+	if err := s.Register("m", testModel(5, 3, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Predict(context.Background(), "m", []float64{1, 2}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Predict(ctx, "m", []float64{1, 2, 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: got %v", err)
+	}
+	if err := s.Register("bad", nil); err == nil {
+		t.Fatal("nil model registered")
+	}
+}
+
+func TestCloseFailsPending(t *testing.T) {
+	s := New(Config{Workers: 1, MaxBatch: 1, MaxLatency: time.Millisecond, Timeout: -1})
+	if err := s.Register("m", slowModel(50*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	results := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := s.Predict(context.Background(), "m", []float64{0, 0})
+			results <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	s.Close() // idempotent
+	for i := 0; i < 4; i++ {
+		if err := <-results; err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("pending request got %v, want nil or ErrClosed", err)
+		}
+	}
+	if _, err := s.Predict(context.Background(), "m", []float64{0, 0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("predict after close: got %v", err)
+	}
+	if err := s.Register("m2", testModel(4, 2, 1, 5)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after close: got %v", err)
+	}
+}
+
+func TestServeBatchSizing(t *testing.T) {
+	dev := device.SimTitanXp()
+	m := testModel(100, 7, 3, 6)
+	s := newTestServer(t, Config{Device: dev})
+	if err := s.Register("m", m); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.reg.entry("m")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	want := dev.ServeBatch(m.X.Rows, m.X.Cols, m.Alpha.Cols)
+	if got := int(e.maxBatch.Load()); got != want {
+		t.Fatalf("entry maxBatch = %d, want device ServeBatch %d", got, want)
+	}
+	if want <= 1 {
+		t.Fatalf("device ServeBatch = %d; expected a multi-request micro-batch", want)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if err := s.Register("m", testModel(10, 2, 1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Predict(context.Background(), "m", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	out := st.String()
+	if out == "" || st.P99 == 0 || len(st.Occupancy) == 0 {
+		t.Fatalf("thin stats rendering: %+v\n%s", st, out)
+	}
+}

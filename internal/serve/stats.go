@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync"
+	"time"
+
+	"eigenpro/internal/device"
+)
+
+// latBucket0 is the upper bound of the first latency bucket; bucket i
+// covers (latBucket0·2^(i-1), latBucket0·2^i].
+const (
+	latBucket0   = 50 * time.Microsecond
+	latBucketCnt = 26 // top bucket ≈ 28 minutes; slower goes in the last
+	occBucketCnt = 21 // occupancy up to 2^20 per micro-batch
+)
+
+// statsCore accumulates the serving counters; all methods are safe for
+// concurrent use.
+type statsCore struct {
+	mu         sync.Mutex
+	start      time.Time
+	clock      *device.Clock
+	requests   int64
+	rejected   int64
+	expired    int64
+	batches    int64
+	occSum     int64
+	occBuckets [occBucketCnt]int64
+	latBuckets [latBucketCnt]int64
+}
+
+func newStatsCore(dev *device.Device) *statsCore {
+	return &statsCore{start: time.Now(), clock: device.NewClock(dev)}
+}
+
+func (s *statsCore) recordRejected() {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+func (s *statsCore) recordExpired() {
+	s.mu.Lock()
+	s.expired++
+	s.mu.Unlock()
+}
+
+// charge accounts one micro-batch's operations on the simulated device.
+func (s *statsCore) charge(ops float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock.Charge(ops)
+}
+
+// recordBatch records a dispatched micro-batch of the given occupancy.
+func (s *statsCore) recordBatch(occ int) {
+	s.mu.Lock()
+	s.batches++
+	s.occSum += int64(occ)
+	s.occBuckets[pow2Bucket(occ, occBucketCnt)]++
+	s.mu.Unlock()
+}
+
+// recordDone records one completed request and its enqueue-to-completion
+// latency.
+func (s *statsCore) recordDone(lat time.Duration) {
+	s.mu.Lock()
+	s.requests++
+	s.latBuckets[latBucket(lat)]++
+	s.mu.Unlock()
+}
+
+// pow2Bucket maps v >= 1 to ceil(log2(v)) clamped to [0, n).
+func pow2Bucket(v, n int) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len(uint(v - 1))
+	if b >= n {
+		b = n - 1
+	}
+	return b
+}
+
+// latBucket maps a latency to its histogram bucket.
+func latBucket(lat time.Duration) int {
+	b := 0
+	for bound := latBucket0; lat > bound && b < latBucketCnt-1; bound *= 2 {
+		b++
+	}
+	return b
+}
+
+// OccupancyBucket is one bar of the batch-occupancy histogram: Count
+// micro-batches carried between Lo and Hi requests inclusive.
+type OccupancyBucket struct {
+	Lo, Hi int
+	Count  int64
+}
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	// Uptime is the time since the server started.
+	Uptime time.Duration
+	// Requests counts completed predictions; Rejected counts queue-full
+	// admissions; Expired counts requests that timed out while queued.
+	Requests, Rejected, Expired int64
+	// Batches counts dispatched micro-batches; MeanOccupancy is
+	// Requests-completed-or-failed-in-batch per batch.
+	Batches       int64
+	MeanOccupancy float64
+	// P50 and P99 are wall-clock enqueue-to-completion latency quantiles
+	// (upper bucket bounds of a log-spaced histogram).
+	P50, P99 time.Duration
+	// Throughput is completed requests per wall second since start.
+	Throughput float64
+	// SimTime and SimOps account the simulated device; SimThroughput is
+	// completed requests per simulated device second — the number the
+	// batched-vs-unbatched comparison is about.
+	SimTime       time.Duration
+	SimOps        float64
+	SimThroughput float64
+	// Occupancy is the non-empty part of the batch-size histogram.
+	Occupancy []OccupancyBucket
+}
+
+// snapshot derives a Stats from the counters.
+func (s *statsCore) snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Uptime:   time.Since(s.start),
+		Requests: s.requests,
+		Rejected: s.rejected,
+		Expired:  s.expired,
+		Batches:  s.batches,
+		SimTime:  s.clock.Elapsed(),
+		SimOps:   s.clock.Ops(),
+	}
+	if s.batches > 0 {
+		st.MeanOccupancy = float64(s.occSum) / float64(s.batches)
+	}
+	if up := st.Uptime.Seconds(); up > 0 {
+		st.Throughput = float64(s.requests) / up
+	}
+	if sim := st.SimTime.Seconds(); sim > 0 {
+		st.SimThroughput = float64(s.requests) / sim
+	}
+	st.P50 = s.latQuantile(0.50)
+	st.P99 = s.latQuantile(0.99)
+	lo := 1
+	for i, c := range s.occBuckets {
+		hi := 1 << i
+		if c > 0 {
+			st.Occupancy = append(st.Occupancy, OccupancyBucket{Lo: lo, Hi: hi, Count: c})
+		}
+		lo = hi + 1
+	}
+	return st
+}
+
+// latQuantile returns the upper bound of the bucket holding the q-quantile
+// completed request. Callers must hold s.mu.
+func (s *statsCore) latQuantile(q float64) time.Duration {
+	if s.requests == 0 {
+		return 0
+	}
+	// Nearest-rank quantile: ceil(q·n), so p99 of 10 samples is the 10th,
+	// not the 9th.
+	rank := int64(math.Ceil(q * float64(s.requests)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	bound := latBucket0
+	for i, c := range s.latBuckets {
+		cum += c
+		if cum >= rank {
+			return bound
+		}
+		if i < latBucketCnt-1 {
+			bound *= 2
+		}
+	}
+	return bound
+}
+
+// String renders the snapshot as an aligned text table.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving stats (uptime %v)\n", st.Uptime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  requests    %-10d rejected %-8d expired %d\n", st.Requests, st.Rejected, st.Expired)
+	fmt.Fprintf(&b, "  batches     %-10d mean occupancy %.1f\n", st.Batches, st.MeanOccupancy)
+	fmt.Fprintf(&b, "  latency     p50 %v  p99 %v\n", st.P50, st.P99)
+	fmt.Fprintf(&b, "  throughput  %.0f req/s wall, %.0f req/s simulated device (%v device time)\n",
+		st.Throughput, st.SimThroughput, st.SimTime.Round(time.Microsecond))
+	if len(st.Occupancy) > 0 {
+		b.WriteString("  batch occupancy:\n")
+		for _, o := range st.Occupancy {
+			if o.Lo == o.Hi {
+				fmt.Fprintf(&b, "    %6d      %d\n", o.Hi, o.Count)
+			} else {
+				fmt.Fprintf(&b, "    %3d-%-6d  %d\n", o.Lo, o.Hi, o.Count)
+			}
+		}
+	}
+	return b.String()
+}
