@@ -107,3 +107,8 @@ func BenchmarkMultiGPU(b *testing.B) { benchReport(b, bench.MultiGPU) }
 // device model's m_max — tracking the serving-path trajectory the same way
 // the training benchmarks track the paper's artifacts.
 func BenchmarkServing(b *testing.B) { benchReport(b, bench.ServingThroughput) }
+
+// BenchmarkTrainingJobs measures async training-job throughput and
+// submit-to-servable latency across job-manager worker-pool sizes — the
+// train → serve loop as a managed workload.
+func BenchmarkTrainingJobs(b *testing.B) { benchReport(b, bench.TrainingJobs) }

@@ -8,11 +8,21 @@
 //	         [-kernel gaussian|laplacian|cauchy] [-sigma 5] [-epochs 10]
 //	         [-method eigenpro2|eigenpro1|sgd] [-seed 1]
 //
+// The train subcommand runs the same workload through the async
+// training-job manager — submit, watch per-epoch status, optionally cancel
+// at an epoch boundary (taking a checkpoint) and resume bit-for-bit:
+//
+//	eigenpro train [-dataset mnist] [-n 2000] [-epochs 10] [-name default]
+//	               [-cancel-after-epoch 0] [-save model.gob]
+//
 // The serve subcommand loads (or trains) a model and serves batched
-// predictions over HTTP JSON:
+// predictions over HTTP JSON; it also exposes the training-job endpoints
+// (POST /train, GET /jobs, ...) so models can be trained and hot-deployed
+// over the same server:
 //
 //	eigenpro serve [-model model.gob] [-addr :8095] [-max-latency 2ms]
-//	               [-queue 1024] [-workers 0] [-dataset mnist] [-n 1000]
+//	               [-queue 1024] [-workers 0] [-train-workers 2]
+//	               [-dataset mnist] [-n 1000]
 package main
 
 import (
@@ -24,9 +34,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		runServe(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "train":
+			runTrainJob(os.Args[2:])
+			return
+		}
 	}
 	runTrain()
 }
@@ -34,7 +50,7 @@ func main() {
 func runTrain() {
 	dataset := flag.String("dataset", "mnist", "dataset: mnist, cifar10, svhn, timit, susy, imagenet")
 	n := flag.Int("n", 2000, "number of samples to generate")
-	kernelName := flag.String("kernel", "gaussian", "kernel family: gaussian, laplacian, cauchy")
+	kernelName := flag.String("kernel", "gaussian", "kernel family: gaussian, laplacian, cauchy, matern32, matern52")
 	sigma := flag.Float64("sigma", 5, "kernel bandwidth")
 	epochs := flag.Int("epochs", 10, "maximum training epochs")
 	method := flag.String("method", "eigenpro2", "optimizer: eigenpro2, eigenpro1, sgd")
@@ -43,35 +59,15 @@ func runTrain() {
 	savePath := flag.String("save", "", "write the trained model (gob) to this path")
 	flag.Parse()
 
-	var ds *eigenpro.Dataset
-	switch *dataset {
-	case "mnist":
-		ds = eigenpro.MNISTLike(*n, *seed)
-	case "cifar10":
-		ds = eigenpro.CIFAR10Like(*n, *seed)
-	case "svhn":
-		ds = eigenpro.SVHNLike(*n, *seed)
-	case "timit":
-		ds = eigenpro.TIMITLike(*n, *seed)
-	case "susy":
-		ds = eigenpro.SUSYLike(*n, *seed)
-	case "imagenet":
-		ds = eigenpro.ImageNetFeaturesLike(*n, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+	ds, err := datasetByName(*dataset, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	var kern eigenpro.Kernel
-	switch *kernelName {
-	case "gaussian":
-		kern = eigenpro.GaussianKernel(*sigma)
-	case "laplacian":
-		kern = eigenpro.LaplacianKernel(*sigma)
-	case "cauchy":
-		kern = eigenpro.CauchyKernel(*sigma)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernelName)
+	kern, err := eigenpro.KernelByName(*kernelName, *sigma)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

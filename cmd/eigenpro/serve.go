@@ -12,7 +12,9 @@ import (
 
 // runServe implements the serve subcommand: load a saved model (or train a
 // fresh one on a synthetic dataset when -model is empty), register it, and
-// expose the batched prediction endpoint over HTTP.
+// expose the batched prediction endpoint over HTTP — together with the
+// async training-job endpoints, so POST /train → GET /jobs/{id} → POST
+// /v1/predict closes the train → serve loop on one process.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	modelPath := fs.String("model", "", "gob model to serve (from eigenpro -save); empty trains a fresh one")
@@ -23,6 +25,8 @@ func runServe(args []string) {
 	queue := fs.Int("queue", 1024, "request queue depth per model (admission control)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline")
+	trainWorkers := fs.Int("train-workers", 2, "training-job worker pool size")
+	trainQueue := fs.Int("train-queue", 64, "pending training-job queue depth")
 	dataset := fs.String("dataset", "mnist", "fallback training dataset when -model is empty")
 	n := fs.Int("n", 1000, "fallback training samples")
 	sigma := fs.Float64("sigma", 5, "fallback training kernel bandwidth")
@@ -58,12 +62,19 @@ func runServe(args []string) {
 		fmt.Printf("serving freshly trained %s model as %q\n", *dataset, *name)
 	}
 
+	mgr := eigenpro.NewTrainingManager(eigenpro.TrainingConfig{
+		Workers:    *trainWorkers,
+		QueueDepth: *trainQueue,
+		Registrar:  srv,
+	})
+	defer mgr.Close()
+
 	mdl, _ := srv.Model(*name)
 	fmt.Printf("model: %d centers, %d features, %d outputs; device micro-batch m_max=%d\n",
 		mdl.X.Rows, mdl.X.Cols, mdl.Alpha.Cols,
 		eigenpro.SimTitanXp().ServeBatch(mdl.X.Rows, mdl.X.Cols, mdl.Alpha.Cols))
-	fmt.Printf("listening on %s — POST /v1/predict, GET /v1/stats\n", *addr)
-	if err := http.ListenAndServe(*addr, eigenpro.NewServerHandler(srv)); err != nil {
+	fmt.Printf("listening on %s — POST /v1/predict, GET /v1/stats, POST /train, GET /jobs\n", *addr)
+	if err := http.ListenAndServe(*addr, eigenpro.NewTrainServeHandler(srv, mgr)); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
 	}
@@ -72,22 +83,9 @@ func runServe(args []string) {
 // trainFallback trains a small model so the server is usable without a
 // saved artifact.
 func trainFallback(dataset string, n int, sigma float64, epochs int, seed int64) (*eigenpro.Model, error) {
-	var ds *eigenpro.Dataset
-	switch dataset {
-	case "mnist":
-		ds = eigenpro.MNISTLike(n, seed)
-	case "cifar10":
-		ds = eigenpro.CIFAR10Like(n, seed)
-	case "svhn":
-		ds = eigenpro.SVHNLike(n, seed)
-	case "timit":
-		ds = eigenpro.TIMITLike(n, seed)
-	case "susy":
-		ds = eigenpro.SUSYLike(n, seed)
-	case "imagenet":
-		ds = eigenpro.ImageNetFeaturesLike(n, seed)
-	default:
-		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	ds, err := datasetByName(dataset, n, seed)
+	if err != nil {
+		return nil, err
 	}
 	fmt.Printf("no -model given; training on %d %s-like samples...\n", ds.N(), dataset)
 	res, err := eigenpro.Train(eigenpro.Config{

@@ -30,6 +30,7 @@ import (
 	"eigenpro/internal/data"
 	"eigenpro/internal/device"
 	"eigenpro/internal/falkon"
+	"eigenpro/internal/jobs"
 	"eigenpro/internal/kernel"
 	"eigenpro/internal/mat"
 	"eigenpro/internal/metrics"
@@ -68,6 +69,13 @@ func Matern32Kernel(sigma float64) Kernel { return kernel.Matern32{Sigma: sigma}
 // Matern52Kernel returns the Matérn ν=5/2 kernel
 // (1 + √5r/σ + 5r²/3σ²)·exp(−√5r/σ).
 func Matern52Kernel(sigma float64) Kernel { return kernel.Matern52{Sigma: sigma} }
+
+// KernelByName constructs a kernel from its family name (gaussian,
+// laplacian, cauchy, matern32, matern52) and bandwidth — the mapping
+// shared by the CLI, the HTTP training endpoint, and model serialization.
+func KernelByName(family string, sigma float64) (Kernel, error) {
+	return kernel.ByName(family, sigma)
+}
 
 // Device models a parallel computational resource G = (C_G, S_G); see
 // internal/device for the timing model.
@@ -108,8 +116,32 @@ type Params = core.Params
 // Spectrum is a Nyström estimate of the kernel operator's top spectrum.
 type Spectrum = core.Spectrum
 
+// EpochStats records one epoch of training progress; Config.OnEpoch
+// receives one per epoch.
+type EpochStats = core.EpochStats
+
 // Train fits a kernel machine on x with one-hot targets y.
 func Train(cfg Config, x, y *Matrix) (*Result, error) { return core.Train(cfg, x, y) }
+
+// Trainer is the interruptible training state machine behind Train: one
+// Step per epoch, Checkpoint between steps, resume with ResumeTrainer.
+// The async job manager (NewTrainingManager) is built on it.
+type Trainer = core.Trainer
+
+// NewTrainer prepares an interruptible training run (spectrum estimation
+// and analytic parameter selection happen here).
+func NewTrainer(cfg Config, x, y *Matrix) (*Trainer, error) { return core.NewTrainer(cfg, x, y) }
+
+// ResumeTrainer reconstructs a Trainer from a Trainer.Checkpoint snapshot.
+// x and y must be the training data of the original run; cfg contributes
+// only the non-serializable ValX/ValLabels fields. The resumed run
+// reproduces the uninterrupted run bit for bit.
+func ResumeTrainer(r io.Reader, cfg Config, x, y *Matrix) (*Trainer, error) {
+	return core.ResumeTrainer(r, cfg, x, y)
+}
+
+// ErrTrainingComplete is returned by Trainer.Step after training finished.
+var ErrTrainingComplete = core.ErrTrainingComplete
 
 // EstimateSpectrum computes a reusable Nyström spectrum from an s-point
 // subsample with qmax eigenpairs.
@@ -197,6 +229,75 @@ func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
 // GET /v1/models, PUT /v1/models/{name}, GET /v1/stats, GET /healthz).
 func NewServerHandler(s *Server) http.Handler { return serve.NewHandler(s) }
 
+// TrainingManager runs submitted training jobs asynchronously on a bounded
+// worker pool with per-epoch status, cancellation (checkpointing at the
+// next epoch boundary), bit-exact resume, and auto-registration of
+// completed models into a serving registry. See internal/jobs.
+type TrainingManager = jobs.Manager
+
+// TrainingConfig configures NewTrainingManager. Set Registrar to a *Server
+// so completed models become servable with no manual step.
+type TrainingConfig = jobs.Config
+
+// TrainingSpec describes one training job: a model name, a training
+// Config, and the data.
+type TrainingSpec = jobs.Spec
+
+// TrainingJob is a point-in-time snapshot of a job's status and metrics.
+type TrainingJob = jobs.Info
+
+// JobState is a training-job lifecycle phase.
+type JobState = jobs.State
+
+// Training-job lifecycle states.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobCancelled = jobs.StateCancelled
+	JobDone      = jobs.StateDone
+	JobFailed    = jobs.StateFailed
+)
+
+// Training-job lifecycle errors a caller can match with errors.Is.
+var (
+	// ErrJobsClosed reports an operation against a closed manager.
+	ErrJobsClosed = jobs.ErrClosed
+	// ErrJobQueueFull reports a submission rejected by admission control.
+	ErrJobQueueFull = jobs.ErrQueueFull
+	// ErrUnknownJob reports an unknown job id.
+	ErrUnknownJob = jobs.ErrUnknownJob
+)
+
+// NewTrainingManager starts an async training-job manager. Submit with
+// SubmitTraining (or Manager.Submit), watch with JobStatus/Wait, stop with
+// Cancel, continue with Resume; call Close to release the workers.
+func NewTrainingManager(cfg TrainingConfig) *TrainingManager { return jobs.New(cfg) }
+
+// SubmitTraining enqueues a training job and returns its id.
+func SubmitTraining(m *TrainingManager, spec TrainingSpec) (string, error) { return m.Submit(spec) }
+
+// JobStatus returns a snapshot of a training job's status and metrics.
+func JobStatus(m *TrainingManager, id string) (TrainingJob, bool) { return m.Job(id) }
+
+// NewTrainServeHandler combines the serving endpoints (NewServerHandler)
+// with the training-job endpoints on one mux:
+//
+//	POST /train, GET /jobs, GET /jobs/{id},
+//	POST /jobs/{id}/cancel, POST /jobs/{id}/resume
+//
+// When the manager's Registrar is s, a model trained via POST /train is
+// immediately servable via POST /v1/predict under its submitted name — the
+// full train → serve loop over one HTTP server.
+func NewTrainServeHandler(s *Server, m *TrainingManager) http.Handler {
+	mux := http.NewServeMux()
+	jh := jobs.NewHandler(m)
+	mux.Handle("/train", jh)
+	mux.Handle("/jobs", jh)
+	mux.Handle("/jobs/", jh)
+	mux.Handle("/", serve.NewHandler(s))
+	return mux
+}
+
 // NewDeviceGroup composes count identical devices into one data-parallel
 // resource (the paper's §6 multi-GPU direction).
 func NewDeviceGroup(base *Device, count int, opt DeviceGroupOptions) (*Device, error) {
@@ -238,6 +339,13 @@ func SUSYLike(n int, seed int64) *Dataset { return data.SUSYLike(n, seed) }
 // PCA-reduced ImageNet CNN features (256 features, 50 classes).
 func ImageNetFeaturesLike(n int, seed int64) *Dataset { return data.ImageNetFeaturesLike(n, seed) }
 
+// DatasetByName generates the preset dataset with the given name (mnist,
+// cifar10, svhn, timit, susy, imagenet) — the mapping shared by the CLI
+// and the HTTP training endpoint.
+func DatasetByName(name string, n int, seed int64) (*Dataset, error) {
+	return data.ByName(name, n, seed)
+}
+
 // ReadCSV parses label-first CSV rows into a dataset.
 func ReadCSV(r io.Reader, name string) (*Dataset, error) { return data.ReadCSV(r, name) }
 
@@ -264,6 +372,21 @@ type ShardedResult = parallel.Result
 // across workers; the result matches single-device Train up to roundoff.
 func TrainSharded(cfg ShardedConfig, x, y *Matrix) (*ShardedResult, error) {
 	return parallel.Train(cfg, x, y)
+}
+
+// ShardedTrainer is the interruptible state machine behind TrainSharded,
+// with the same Step/Checkpoint/resume contract as Trainer.
+type ShardedTrainer = parallel.Trainer
+
+// NewShardedTrainer prepares an interruptible sharded training run.
+func NewShardedTrainer(cfg ShardedConfig, x, y *Matrix) (*ShardedTrainer, error) {
+	return parallel.NewTrainer(cfg, x, y)
+}
+
+// ResumeShardedTrainer reconstructs a ShardedTrainer from a checkpoint;
+// the resumed run reproduces the uninterrupted run bit for bit.
+func ResumeShardedTrainer(r io.Reader, x, y *Matrix) (*ShardedTrainer, error) {
+	return parallel.ResumeTrainer(r, x, y)
 }
 
 // MSE returns the mean squared error between predictions and targets.

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestTrainingJobsRuns checks the training-jobs study end to end: every
+// submitted job completes servable at every pool size, and the report
+// renders one row per worker count.
+func TestTrainingJobsRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	points, err := TrainingJobsStudy(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("want 3 points (pool sizes 1, 2, 4), got %d", len(points))
+	}
+	for _, p := range points {
+		if p.JobsPerSec <= 0 {
+			t.Fatalf("workers %d: zero throughput: %+v", p.Workers, p)
+		}
+		if p.MeanTimeToServable <= 0 || p.MaxTimeToServable < p.MeanTimeToServable {
+			t.Fatalf("workers %d: implausible time-to-servable: %+v", p.Workers, p)
+		}
+		if p.Wall < p.MaxTimeToServable {
+			t.Fatalf("workers %d: wall %v below max time-to-servable %v", p.Workers, p.Wall, p.MaxTimeToServable)
+		}
+	}
+
+	rep, err := TrainingJobs(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("report rows = %d, want 3", len(rep.Rows))
+	}
+}

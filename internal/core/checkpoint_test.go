@@ -1,0 +1,229 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"eigenpro/internal/data"
+	"eigenpro/internal/kernel"
+)
+
+// checkpointCfg is a small but non-trivial EigenPro2 configuration that
+// exercises the preconditioner path and a ragged tail batch.
+func checkpointCfg(method Method) Config {
+	return Config{
+		Kernel: kernel.Gaussian{Sigma: 5},
+		Method: method,
+		Epochs: 4,
+		S:      120,
+		Seed:   7,
+	}
+}
+
+// stepUninterrupted trains to completion in one trainer and returns it.
+func stepUninterrupted(t *testing.T, cfg Config, ds *data.Dataset) *Trainer {
+	t.Helper()
+	tr, err := NewTrainer(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !tr.Done() {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestCheckpointResumeBitIdentical checkpoints at EVERY epoch boundary,
+// resumes from the snapshot, trains the rest of the run, and asserts the
+// final coefficients are bit-identical to the uninterrupted run — the
+// property that makes checkpoint/cancel/resume safe to use in the job
+// manager.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	for _, method := range []Method{MethodEigenPro2, MethodSGD} {
+		cfg := checkpointCfg(method)
+		ds := data.MNISTLike(300, 11)
+		ref := stepUninterrupted(t, cfg, ds)
+		want := ref.Result()
+
+		for stop := 0; stop <= cfg.Epochs; stop++ {
+			tr, err := NewTrainer(cfg, ds.X, ds.Y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for e := 0; e < stop && !tr.Done(); e++ {
+				if _, err := tr.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := tr.Checkpoint(&buf); err != nil {
+				t.Fatalf("%v stop %d: checkpoint: %v", method, stop, err)
+			}
+			res, err := ResumeTrainer(&buf, Config{}, ds.X, ds.Y)
+			if err != nil {
+				t.Fatalf("%v stop %d: resume: %v", method, stop, err)
+			}
+			if res.Epoch() != tr.Epoch() {
+				t.Fatalf("%v stop %d: resumed at epoch %d, want %d", method, stop, res.Epoch(), tr.Epoch())
+			}
+			for !res.Done() {
+				if _, err := res.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := res.Result()
+			if got.Epochs != want.Epochs || got.Iters != want.Iters {
+				t.Fatalf("%v stop %d: epochs/iters %d/%d, want %d/%d",
+					method, stop, got.Epochs, got.Iters, want.Epochs, want.Iters)
+			}
+			for i, v := range got.Model.Alpha.Data {
+				if v != want.Model.Alpha.Data[i] {
+					t.Fatalf("%v stop %d: coefficient %d differs: %v != %v (bit-exactness violated)",
+						method, stop, i, v, want.Model.Alpha.Data[i])
+				}
+			}
+			if got.SimTime != want.SimTime {
+				t.Fatalf("%v stop %d: sim time %v != %v", method, stop, got.SimTime, want.SimTime)
+			}
+			if len(got.History) != len(want.History) {
+				t.Fatalf("%v stop %d: history %d entries, want %d", method, stop, len(got.History), len(want.History))
+			}
+			for i := range got.History {
+				if got.History[i].TrainMSE != want.History[i].TrainMSE {
+					t.Fatalf("%v stop %d: epoch %d mse %v != %v",
+						method, stop, i+1, got.History[i].TrainMSE, want.History[i].TrainMSE)
+				}
+			}
+		}
+	}
+}
+
+// TestTrainMatchesSteppedTrainer pins the refactor: the one-shot Train and
+// a manually stepped Trainer produce identical results.
+func TestTrainMatchesSteppedTrainer(t *testing.T) {
+	cfg := checkpointCfg(MethodEigenPro2)
+	ds := data.MNISTLike(250, 13)
+	res, err := Train(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped := stepUninterrupted(t, cfg, ds).Result()
+	if res.Epochs != stepped.Epochs || res.Iters != stepped.Iters {
+		t.Fatalf("Train %d/%d vs stepped %d/%d", res.Epochs, res.Iters, stepped.Epochs, stepped.Iters)
+	}
+	for i, v := range res.Model.Alpha.Data {
+		if v != stepped.Model.Alpha.Data[i] {
+			t.Fatalf("coefficient %d differs: %v != %v", i, v, stepped.Model.Alpha.Data[i])
+		}
+	}
+}
+
+// TestTrainOnEpochCallback verifies the per-epoch progress hook fires once
+// per epoch, in order.
+func TestTrainOnEpochCallback(t *testing.T) {
+	cfg := checkpointCfg(MethodEigenPro2)
+	var seen []int
+	cfg.OnEpoch = func(st EpochStats) { seen = append(seen, st.Epoch) }
+	ds := data.MNISTLike(200, 17)
+	res, err := Train(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != res.Epochs {
+		t.Fatalf("callback fired %d times for %d epochs", len(seen), res.Epochs)
+	}
+	for i, e := range seen {
+		if e != i+1 {
+			t.Fatalf("callback order %v", seen)
+		}
+	}
+}
+
+// TestResumeValidation exercises the resume error paths: wrong data shape,
+// truncated snapshots, and stepping a finished trainer.
+func TestResumeValidation(t *testing.T) {
+	cfg := checkpointCfg(MethodEigenPro2)
+	ds := data.MNISTLike(200, 19)
+	tr, err := NewTrainer(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	other := data.MNISTLike(150, 19)
+	if _, err := ResumeTrainer(bytes.NewReader(snap), Config{}, other.X, other.Y); err == nil {
+		t.Fatal("mismatched data shape must fail")
+	}
+	// A corrupt epoch count must error, not replay the RNG forever.
+	var w checkpointWire
+	if err := gob.NewDecoder(bytes.NewReader(snap)).Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	reencode := func(w checkpointWire) *bytes.Buffer {
+		var b bytes.Buffer
+		if err := gob.NewEncoder(&b).Encode(w); err != nil {
+			t.Fatal(err)
+		}
+		return &b
+	}
+	huge := w
+	huge.Epoch = 1 << 40
+	if _, err := ResumeTrainer(reencode(huge), Config{}, ds.X, ds.Y); err == nil {
+		t.Fatal("epoch beyond budget must fail")
+	}
+	// Corrupt subsample indices must error, not panic in the
+	// preconditioner.
+	outOfRange := w
+	outOfRange.Spectrum.SubIdx = append([]int(nil), w.Spectrum.SubIdx...)
+	outOfRange.Spectrum.SubIdx[0] = ds.X.Rows + 7
+	if _, err := ResumeTrainer(reencode(outOfRange), Config{}, ds.X, ds.Y); err == nil {
+		t.Fatal("out-of-range subsample index must fail")
+	}
+	negative := w
+	negative.Spectrum.SubIdx = append([]int(nil), w.Spectrum.SubIdx...)
+	negative.Spectrum.SubIdx[0] = -1
+	if _, err := ResumeTrainer(reencode(negative), Config{}, ds.X, ds.Y); err == nil {
+		t.Fatal("negative subsample index must fail")
+	}
+	if _, err := ResumeTrainer(bytes.NewReader(snap[:len(snap)/3]), Config{}, ds.X, ds.Y); err == nil {
+		t.Fatal("truncated checkpoint must fail")
+	}
+	if _, err := ResumeTrainer(bytes.NewReader(nil), Config{}, ds.X, ds.Y); err == nil {
+		t.Fatal("empty checkpoint must fail")
+	}
+
+	for !tr.Done() {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Step(); err != ErrTrainingComplete {
+		t.Fatalf("step after completion: %v", err)
+	}
+	// A checkpoint of a finished run resumes as finished.
+	buf.Reset()
+	if err := tr.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := ResumeTrainer(&buf, Config{}, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fin.Done() {
+		t.Fatal("finished checkpoint must resume as done")
+	}
+	if mse := fin.Result().FinalTrainMSE; math.IsNaN(mse) || mse <= 0 {
+		t.Fatalf("final mse %v", mse)
+	}
+}

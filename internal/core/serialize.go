@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"eigenpro/internal/kernel"
 	"eigenpro/internal/mat"
@@ -39,20 +40,11 @@ func specOf(k kernel.Func) (kernelSpec, error) {
 }
 
 func (s kernelSpec) kernel() (kernel.Func, error) {
-	switch s.Family {
-	case "gaussian":
-		return kernel.Gaussian{Sigma: s.Sigma}, nil
-	case "laplacian":
-		return kernel.Laplacian{Sigma: s.Sigma}, nil
-	case "cauchy":
-		return kernel.Cauchy{Sigma: s.Sigma}, nil
-	case "matern32":
-		return kernel.Matern32{Sigma: s.Sigma}, nil
-	case "matern52":
-		return kernel.Matern52{Sigma: s.Sigma}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown kernel family %q", s.Family)
+	k, err := kernel.ByName(s.Family, s.Sigma)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
+	return k, nil
 }
 
 // denseWire is the serializable form of mat.Dense.
@@ -68,11 +60,23 @@ func wireOf(d *mat.Dense) denseWire {
 	return denseWire{Rows: d.Rows, Cols: d.Cols, Data: d.Data}
 }
 
-func (w denseWire) dense() *mat.Dense {
-	if w.Rows == 0 && w.Cols == 0 {
-		return mat.NewDense(0, 0)
+// dense validates the wire shape before wrapping the data: gob will happily
+// decode a hand-corrupted header whose dimensions disagree with its payload,
+// and NewDenseData panics on that mismatch.
+func (w denseWire) dense() (*mat.Dense, error) {
+	if w.Rows < 0 || w.Cols < 0 {
+		return nil, fmt.Errorf("core: decode matrix: negative dimension %dx%d", w.Rows, w.Cols)
 	}
-	return mat.NewDenseData(w.Rows, w.Cols, w.Data)
+	if w.Cols > 0 && w.Rows > math.MaxInt/w.Cols {
+		return nil, fmt.Errorf("core: decode matrix: dimensions %dx%d overflow", w.Rows, w.Cols)
+	}
+	if len(w.Data) != w.Rows*w.Cols {
+		return nil, fmt.Errorf("core: decode matrix: %d elements for %dx%d", len(w.Data), w.Rows, w.Cols)
+	}
+	if w.Rows == 0 && w.Cols == 0 {
+		return mat.NewDense(0, 0), nil
+	}
+	return mat.NewDenseData(w.Rows, w.Cols, w.Data), nil
 }
 
 // modelWire is the on-wire layout of a Model.
@@ -113,7 +117,15 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{Kern: k, X: w.X.dense(), Alpha: w.Alpha.dense()}
+	x, err := w.X.dense()
+	if err != nil {
+		return nil, fmt.Errorf("core: LoadModel: %w", err)
+	}
+	alpha, err := w.Alpha.dense()
+	if err != nil {
+		return nil, fmt.Errorf("core: LoadModel: %w", err)
+	}
+	m := &Model{Kern: k, X: x, Alpha: alpha}
 	if m.X.Rows != m.Alpha.Rows {
 		return nil, fmt.Errorf("core: LoadModel: %d centers with %d coefficient rows", m.X.Rows, m.Alpha.Rows)
 	}
@@ -131,14 +143,14 @@ type spectrumWire struct {
 	Beta    float64
 }
 
-// SaveSpectrum writes sp to w in gob format so the Nyström eigensystem —
-// the one non-trivial precomputation — can be reused across processes.
-func SaveSpectrum(w io.Writer, sp *Spectrum) error {
+// spectrumWireOf captures a spectrum for encoding; the checkpoint format
+// embeds the same layout.
+func spectrumWireOf(sp *Spectrum) (spectrumWire, error) {
 	spec, err := specOf(sp.Kern)
 	if err != nil {
-		return err
+		return spectrumWire{}, err
 	}
-	return gob.NewEncoder(w).Encode(spectrumWire{
+	return spectrumWire{
 		Version: wireVersion,
 		Kernel:  spec,
 		SubIdx:  sp.SubIdx,
@@ -146,7 +158,59 @@ func SaveSpectrum(w io.Writer, sp *Spectrum) error {
 		Sigma:   sp.Sigma,
 		V:       wireOf(sp.V),
 		Beta:    sp.Beta,
-	})
+	}, nil
+}
+
+// spectrum validates a decoded wire spectrum and rebuilds the value.
+func (w spectrumWire) spectrum() (*Spectrum, error) {
+	if w.Version != wireVersion {
+		return nil, fmt.Errorf("core: spectrum: unsupported version %d", w.Version)
+	}
+	k, err := w.Kernel.kernel()
+	if err != nil {
+		return nil, err
+	}
+	xsub, err := w.Xsub.dense()
+	if err != nil {
+		return nil, fmt.Errorf("core: spectrum: %w", err)
+	}
+	v, err := w.V.dense()
+	if err != nil {
+		return nil, fmt.Errorf("core: spectrum: %w", err)
+	}
+	sp := &Spectrum{
+		Kern:   k,
+		SubIdx: w.SubIdx,
+		Xsub:   xsub,
+		Sigma:  w.Sigma,
+		V:      v,
+		Beta:   w.Beta,
+	}
+	if len(sp.SubIdx) != sp.Xsub.Rows {
+		return nil, fmt.Errorf("core: spectrum: %d indices with %d subsample rows", len(sp.SubIdx), sp.Xsub.Rows)
+	}
+	for _, idx := range sp.SubIdx {
+		if idx < 0 {
+			return nil, fmt.Errorf("core: spectrum: negative subsample index %d", idx)
+		}
+	}
+	if sp.V.Rows != sp.Xsub.Rows {
+		return nil, fmt.Errorf("core: spectrum: %d eigenvector rows with %d subsample rows", sp.V.Rows, sp.Xsub.Rows)
+	}
+	if len(sp.Sigma) != sp.V.Cols {
+		return nil, fmt.Errorf("core: spectrum: %d eigenvalues with %d eigenvectors", len(sp.Sigma), sp.V.Cols)
+	}
+	return sp, nil
+}
+
+// SaveSpectrum writes sp to w in gob format so the Nyström eigensystem —
+// the one non-trivial precomputation — can be reused across processes.
+func SaveSpectrum(w io.Writer, sp *Spectrum) error {
+	wire, err := spectrumWireOf(sp)
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(wire)
 }
 
 // LoadSpectrum reads a spectrum previously written by SaveSpectrum.
@@ -155,26 +219,9 @@ func LoadSpectrum(r io.Reader) (*Spectrum, error) {
 	if err := gob.NewDecoder(r).Decode(&w); err != nil {
 		return nil, fmt.Errorf("core: LoadSpectrum: %w", err)
 	}
-	if w.Version != wireVersion {
-		return nil, fmt.Errorf("core: LoadSpectrum: unsupported version %d", w.Version)
-	}
-	k, err := w.Kernel.kernel()
+	sp, err := w.spectrum()
 	if err != nil {
-		return nil, err
-	}
-	sp := &Spectrum{
-		Kern:   k,
-		SubIdx: w.SubIdx,
-		Xsub:   w.Xsub.dense(),
-		Sigma:  w.Sigma,
-		V:      w.V.dense(),
-		Beta:   w.Beta,
-	}
-	if len(sp.SubIdx) != sp.Xsub.Rows {
-		return nil, fmt.Errorf("core: LoadSpectrum: %d indices with %d subsample rows", len(sp.SubIdx), sp.Xsub.Rows)
-	}
-	if len(sp.Sigma) != sp.V.Cols {
-		return nil, fmt.Errorf("core: LoadSpectrum: %d eigenvalues with %d eigenvectors", len(sp.Sigma), sp.V.Cols)
+		return nil, fmt.Errorf("core: LoadSpectrum: %w", err)
 	}
 	return sp, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -85,6 +86,11 @@ type Config struct {
 	// Spectrum optionally reuses a precomputed spectrum (must match
 	// Kernel); nil estimates one.
 	Spectrum *Spectrum
+	// OnEpoch, when non-nil, is invoked by Train after every completed
+	// epoch with that epoch's statistics — the progress hook the async job
+	// manager (internal/jobs) and CLIs build on. It runs synchronously on
+	// the training goroutine; it is not serialized into checkpoints.
+	OnEpoch func(EpochStats)
 }
 
 // EpochStats records one epoch of training progress.
@@ -134,8 +140,30 @@ type Result struct {
 // Train fits a kernel machine on x (n x d) with one-hot targets y (n x l)
 // using the configured method. It returns an error for invalid
 // configurations; numerical divergence (NaN/Inf residuals) also aborts with
-// an error.
+// an error. Train is NewTrainer followed by Step until completion — use the
+// Trainer directly for progress-monitored, cancellable, or checkpointed
+// training.
 func Train(cfg Config, x, y *mat.Dense) (*Result, error) {
+	t, err := NewTrainer(cfg, x, y)
+	if err != nil {
+		return nil, err
+	}
+	for !t.Done() {
+		stats, err := t.Step()
+		if err != nil {
+			return nil, err
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(stats)
+		}
+	}
+	return t.Result(), nil
+}
+
+// NewTrainer validates the configuration, estimates (or adopts) the
+// spectrum, selects the analytic parameters, and returns a Trainer
+// positioned before epoch 1.
+func NewTrainer(cfg Config, x, y *mat.Dense) (*Trainer, error) {
 	if cfg.Kernel == nil {
 		return nil, fmt.Errorf("core: Config.Kernel is required")
 	}
@@ -182,8 +210,18 @@ func Train(cfg Config, x, y *mat.Dense) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-	} else if sp.QMax() < 1 {
-		return nil, fmt.Errorf("core: provided spectrum has no eigenpairs")
+	} else {
+		if sp.QMax() < 1 {
+			return nil, fmt.Errorf("core: provided spectrum has no eigenpairs")
+		}
+		// A supplied spectrum (user precomputation or a decoded
+		// checkpoint) indexes the training rows through SubIdx; entries
+		// outside [0, n) would panic deep in the preconditioner.
+		for _, idx := range sp.SubIdx {
+			if idx < 0 || idx >= n {
+				return nil, fmt.Errorf("core: provided spectrum subsample index %d outside %d training rows", idx, n)
+			}
+		}
 	}
 
 	params := SelectParams(sp, dev, n, d, l)
@@ -237,7 +275,7 @@ func Train(cfg Config, x, y *mat.Dense) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return st.run(dev, n, d, l)
+	return newTrainerFromState(st, dev, n, d, l), nil
 }
 
 // trainState holds per-run buffers and the precomputed preconditioner.
@@ -330,146 +368,214 @@ func (st *trainState) memFloats(n, d, l, m int) int64 {
 	}
 }
 
-func (st *trainState) run(dev *device.Device, n, d, l int) (*Result, error) {
-	cfg, params := st.cfg, st.params
-	clock := device.NewClock(dev)
-	res := &Result{
-		Model:      st.model,
-		Params:     params,
-		Spectrum:   st.sp,
-		Method:     cfg.Method,
-		OpsPerIter: st.iterOps(n, d, l, params.Batch),
-		MemFloats:  st.memFloats(n, d, l, params.Batch),
+// ErrTrainingComplete is returned by Trainer.Step once training has
+// finished (all epochs run, convergence, early stop, or a prior error).
+var ErrTrainingComplete = errors.New("core: training already complete")
+
+// Trainer is the interruptible state machine behind Train. NewTrainer does
+// the setup (spectrum, analytic parameter selection, preconditioner); each
+// Step runs exactly one epoch; between steps the trainer can be observed
+// (Epoch, Result), checkpointed to an io.Writer, and later resumed with
+// ResumeTrainer such that the resumed run reproduces an uninterrupted run
+// bit for bit. A Trainer is not safe for concurrent use.
+type Trainer struct {
+	st    *trainState
+	dev   *device.Device
+	clock *device.Clock
+	res   *Result
+
+	n, d, l int
+	epoch   int // completed epochs
+	done    bool
+
+	// Early-stopping state (validation patience).
+	bestVal   float64
+	sinceBest int
+
+	// Reusable buffers for the full-size batches that dominate the run;
+	// the (at most one per epoch) ragged tail batch allocates its own.
+	kbBuf, fBuf *mat.Dense
+
+	wall time.Duration // accumulated Step wall time
+}
+
+func newTrainerFromState(st *trainState, dev *device.Device, n, d, l int) *Trainer {
+	m := st.params.Batch
+	t := &Trainer{
+		st:      st,
+		dev:     dev,
+		clock:   device.NewClock(dev),
+		n:       n,
+		d:       d,
+		l:       l,
+		bestVal: math.Inf(1),
+		kbBuf:   mat.NewDense(m, n),
+		fBuf:    mat.NewDense(m, st.y.Cols),
 	}
+	t.res = &Result{
+		Model:      st.model,
+		Params:     st.params,
+		Spectrum:   st.sp,
+		Method:     st.cfg.Method,
+		OpsPerIter: st.iterOps(n, d, l, m),
+		MemFloats:  st.memFloats(n, d, l, m),
+	}
+	return t
+}
+
+// Done reports whether training has finished: the epoch budget is spent,
+// StopTrainMSE was reached, validation patience ran out, MaxIters was hit,
+// or a Step failed.
+func (t *Trainer) Done() bool { return t.done }
+
+// Epoch returns the number of completed epochs.
+func (t *Trainer) Epoch() int { return t.epoch }
+
+// Result returns the training result accumulated so far. It is valid both
+// after completion and between steps (partial history); SimTime and
+// WallTime reflect the work done up to now.
+func (t *Trainer) Result() *Result {
+	t.res.SimTime = t.clock.Elapsed()
+	t.res.WallTime = t.wall
+	return t.res
+}
+
+// Step runs one epoch and returns its statistics. After the final epoch
+// (or convergence / early stop) Done reports true and further Steps return
+// ErrTrainingComplete. A divergence error also marks the trainer done.
+func (t *Trainer) Step() (EpochStats, error) {
+	if t.done {
+		return EpochStats{}, ErrTrainingComplete
+	}
+	start := time.Now()
+	defer func() { t.wall += time.Since(start) }()
+
+	st, cfg, params, res := t.st, t.st.cfg, t.st.params, t.res
+	n, d, l := t.n, t.d, t.l
 	alpha := st.model.Alpha
 	m := params.Batch
 	eta := params.Eta
-	bestVal := math.Inf(1)
-	sinceBest := 0
-	// Reusable buffers for the full-size batches that dominate the run;
-	// the (at most one per epoch) ragged tail batch allocates its own.
-	kbBuf := mat.NewDense(m, n)
-	fBuf := mat.NewDense(m, l)
-	start := time.Now()
+	epoch := t.epoch + 1
 
-epochs:
-	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
-		perm := st.rng.Perm(n)
-		sumSq, count := 0.0, 0
-		for lo := 0; lo < n; lo += m {
-			if cfg.MaxIters > 0 && res.Iters >= cfg.MaxIters {
-				break
-			}
-			hi := lo + m
-			if hi > n {
-				hi = n
-			}
-			batch := perm[lo:hi]
-			mt := len(batch)
-			etaT := eta
-			if mt != m {
-				lambdaTop := st.sp.Lambda(1)
-				if params.QAdjusted > 0 {
-					lambdaTop = st.sp.Lambda(params.QAdjusted)
-				}
-				etaT = StepSize(mt, params.BetaAdapted, lambdaTop)
-				if cfg.Eta > 0 {
-					etaT = cfg.Eta * float64(mt) / float64(m)
-				}
-			}
-			xb := st.x.SelectRows(batch)
-			var kb, f *mat.Dense
-			if mt == m {
-				kernel.MatrixInto(kbBuf, cfg.Kernel, xb, st.x) // m x n
-				kb = kbBuf
-				mat.MulTo(fBuf, kb, alpha) // m x l
-				f = fBuf
-			} else {
-				kb = kernel.Matrix(cfg.Kernel, xb, st.x)
-				f = mat.Mul(kb, alpha)
-			}
-			// Residual r = f − y_batch; accumulate pre-update loss.
-			r := f
-			for t, row := range batch {
-				yRow := st.y.RowView(row)
-				rRow := r.RowView(t)
-				for j := range rRow {
-					rRow[j] -= yRow[j]
-					sumSq += rRow[j] * rRow[j]
-				}
-			}
-			count += mt * l
-			scale := etaT * 2 / float64(mt)
-			if math.IsNaN(sumSq) || math.IsInf(sumSq, 0) {
-				return nil, fmt.Errorf("core: training diverged at epoch %d (method %v, eta %v)", epoch, cfg.Method, etaT)
-			}
-			// Step 3 (Algorithm 1): SGD update on the sampled block.
-			for t, row := range batch {
-				mat.Axpy(-scale, r.RowView(t), alpha.RowView(row))
-			}
-			// Steps 4-5: preconditioner correction.
-			switch {
-			case cfg.Method == MethodEigenPro2 && params.QAdjusted > 0:
-				// Φ = kb columns at the subsample indices (transposed view).
-				w := kb.SelectCols(st.sp.SubIdx) // m x s
-				t1 := mat.TMul(w, r)             // s x l  (= Φ r)
-				t2 := mat.TMul(st.vq, t1)        // q x l
-				for i := 0; i < t2.Rows; i++ {
-					di := st.dDiag[i]
-					row := t2.RowView(i)
-					for j := range row {
-						row[j] *= di
-					}
-				}
-				t3 := mat.Mul(st.vq, t2) // s x l
-				for j, row := range st.sp.SubIdx {
-					mat.Axpy(scale, t3.RowView(j), alpha.RowView(row))
-				}
-			case cfg.Method == MethodEigenPro1 && params.QAdjusted > 0:
-				eb := mat.Mul(kb, st.we) // m x q eigenfunction values (n·m·q)
-				t1 := mat.TMul(eb, r)    // q x l
-				delta := mat.Mul(st.wc, t1)
-				mat.AddScaledInPlace(alpha, scale, delta) // n·q·l
-			}
-			clock.Charge(st.iterOps(n, d, l, mt))
-			res.Iters++
-		}
-		stats := EpochStats{
-			Epoch:    epoch,
-			TrainMSE: sumSq / float64(count),
-			ValError: math.NaN(),
-			SimTime:  clock.Elapsed(),
-			Iters:    res.Iters,
-		}
-		if cfg.ValX != nil && len(cfg.ValLabels) > 0 {
-			stats.ValError = metrics.ClassificationError(st.model.Predict(cfg.ValX), cfg.ValLabels)
-		}
-		res.History = append(res.History, stats)
-		res.Epochs = epoch
-		res.FinalTrainMSE = stats.TrainMSE
-		if math.IsNaN(stats.TrainMSE) || stats.TrainMSE > 1e30 {
-			return nil, fmt.Errorf("core: training diverged at epoch %d (method %v, train mse %v)", epoch, cfg.Method, stats.TrainMSE)
-		}
-		if cfg.StopTrainMSE > 0 && stats.TrainMSE < cfg.StopTrainMSE {
-			res.Converged = true
-			break epochs
-		}
-		if cfg.Patience > 0 && !math.IsNaN(stats.ValError) {
-			if stats.ValError < bestVal-1e-12 {
-				bestVal = stats.ValError
-				sinceBest = 0
-			} else {
-				sinceBest++
-				if sinceBest >= cfg.Patience {
-					break epochs
-				}
-			}
-		}
+	perm := st.rng.Perm(n)
+	sumSq, count := 0.0, 0
+	for lo := 0; lo < n; lo += m {
 		if cfg.MaxIters > 0 && res.Iters >= cfg.MaxIters {
-			break epochs
+			break
+		}
+		hi := lo + m
+		if hi > n {
+			hi = n
+		}
+		batch := perm[lo:hi]
+		mt := len(batch)
+		etaT := eta
+		if mt != m {
+			lambdaTop := st.sp.Lambda(1)
+			if params.QAdjusted > 0 {
+				lambdaTop = st.sp.Lambda(params.QAdjusted)
+			}
+			etaT = StepSize(mt, params.BetaAdapted, lambdaTop)
+			if cfg.Eta > 0 {
+				etaT = cfg.Eta * float64(mt) / float64(m)
+			}
+		}
+		xb := st.x.SelectRows(batch)
+		var kb, f *mat.Dense
+		if mt == m {
+			kernel.MatrixInto(t.kbBuf, cfg.Kernel, xb, st.x) // m x n
+			kb = t.kbBuf
+			mat.MulTo(t.fBuf, kb, alpha) // m x l
+			f = t.fBuf
+		} else {
+			kb = kernel.Matrix(cfg.Kernel, xb, st.x)
+			f = mat.Mul(kb, alpha)
+		}
+		// Residual r = f − y_batch; accumulate pre-update loss.
+		r := f
+		for t, row := range batch {
+			yRow := st.y.RowView(row)
+			rRow := r.RowView(t)
+			for j := range rRow {
+				rRow[j] -= yRow[j]
+				sumSq += rRow[j] * rRow[j]
+			}
+		}
+		count += mt * l
+		scale := etaT * 2 / float64(mt)
+		if math.IsNaN(sumSq) || math.IsInf(sumSq, 0) {
+			t.done = true
+			return EpochStats{}, fmt.Errorf("core: training diverged at epoch %d (method %v, eta %v)", epoch, cfg.Method, etaT)
+		}
+		// Step 3 (Algorithm 1): SGD update on the sampled block.
+		for t, row := range batch {
+			mat.Axpy(-scale, r.RowView(t), alpha.RowView(row))
+		}
+		// Steps 4-5: preconditioner correction.
+		switch {
+		case cfg.Method == MethodEigenPro2 && params.QAdjusted > 0:
+			// Φ = kb columns at the subsample indices (transposed view).
+			w := kb.SelectCols(st.sp.SubIdx) // m x s
+			t1 := mat.TMul(w, r)             // s x l  (= Φ r)
+			t2 := mat.TMul(st.vq, t1)        // q x l
+			for i := 0; i < t2.Rows; i++ {
+				di := st.dDiag[i]
+				row := t2.RowView(i)
+				for j := range row {
+					row[j] *= di
+				}
+			}
+			t3 := mat.Mul(st.vq, t2) // s x l
+			for j, row := range st.sp.SubIdx {
+				mat.Axpy(scale, t3.RowView(j), alpha.RowView(row))
+			}
+		case cfg.Method == MethodEigenPro1 && params.QAdjusted > 0:
+			eb := mat.Mul(kb, st.we) // m x q eigenfunction values (n·m·q)
+			t1 := mat.TMul(eb, r)    // q x l
+			delta := mat.Mul(st.wc, t1)
+			mat.AddScaledInPlace(alpha, scale, delta) // n·q·l
+		}
+		t.clock.Charge(st.iterOps(n, d, l, mt))
+		res.Iters++
+	}
+	stats := EpochStats{
+		Epoch:    epoch,
+		TrainMSE: sumSq / float64(count),
+		ValError: math.NaN(),
+		SimTime:  t.clock.Elapsed(),
+		Iters:    res.Iters,
+	}
+	if cfg.ValX != nil && len(cfg.ValLabels) > 0 {
+		stats.ValError = metrics.ClassificationError(st.model.Predict(cfg.ValX), cfg.ValLabels)
+	}
+	res.History = append(res.History, stats)
+	res.Epochs = epoch
+	res.FinalTrainMSE = stats.TrainMSE
+	t.epoch = epoch
+	if math.IsNaN(stats.TrainMSE) || stats.TrainMSE > 1e30 {
+		t.done = true
+		return stats, fmt.Errorf("core: training diverged at epoch %d (method %v, train mse %v)", epoch, cfg.Method, stats.TrainMSE)
+	}
+	if cfg.StopTrainMSE > 0 && stats.TrainMSE < cfg.StopTrainMSE {
+		res.Converged = true
+		t.done = true
+	}
+	if cfg.Patience > 0 && !math.IsNaN(stats.ValError) {
+		if stats.ValError < t.bestVal-1e-12 {
+			t.bestVal = stats.ValError
+			t.sinceBest = 0
+		} else {
+			t.sinceBest++
+			if t.sinceBest >= cfg.Patience {
+				t.done = true
+			}
 		}
 	}
-	res.SimTime = clock.Elapsed()
-	res.WallTime = time.Since(start)
-	return res, nil
+	if cfg.MaxIters > 0 && res.Iters >= cfg.MaxIters {
+		t.done = true
+	}
+	if epoch >= cfg.Epochs {
+		t.done = true
+	}
+	return stats, nil
 }

@@ -1,5 +1,7 @@
 package data
 
+import "fmt"
+
 // Preset generators matched to the datasets in the paper's §5. Each doc
 // comment records the original dataset scale; sample counts here are
 // arguments so experiments can run at a tractable scale and record it.
@@ -69,4 +71,31 @@ func ImageNetFeaturesLike(n int, seed int64) *Dataset {
 		LatentDim: 40, ClustersPerClass: 1, ClusterSpread: 0.25,
 		Decay: 0.7, Noise: 0.05, Range01: false, Seed: seed,
 	})
+}
+
+// ByName generates the preset dataset with the given name — the one
+// mapping shared by the CLI flags and the HTTP training endpoint, so the
+// surfaces cannot drift apart. Valid names are listed by PresetNames.
+func ByName(name string, n int, seed int64) (*Dataset, error) {
+	switch name {
+	case "mnist":
+		return MNISTLike(n, seed), nil
+	case "cifar10":
+		return CIFAR10Like(n, seed), nil
+	case "svhn":
+		return SVHNLike(n, seed), nil
+	case "timit":
+		return TIMITLike(n, seed), nil
+	case "susy":
+		return SUSYLike(n, seed), nil
+	case "imagenet":
+		return ImageNetFeaturesLike(n, seed), nil
+	default:
+		return nil, fmt.Errorf("data: unknown dataset preset %q", name)
+	}
+}
+
+// PresetNames lists the names ByName accepts.
+func PresetNames() []string {
+	return []string{"mnist", "cifar10", "svhn", "timit", "susy", "imagenet"}
 }

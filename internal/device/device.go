@@ -209,5 +209,12 @@ func (c *Clock) Iterations() int64 { return c.iters }
 // Reset zeroes the clock.
 func (c *Clock) Reset() { c.elapsed, c.ops, c.iters = 0, 0, 0 }
 
+// Restore sets the clock's accumulated totals. It is the inverse of reading
+// Elapsed/Ops/Iterations, used when resuming a checkpointed training run so
+// simulated-time accounting continues where the interrupted run left off.
+func (c *Clock) Restore(elapsed time.Duration, ops float64, iters int64) {
+	c.elapsed, c.ops, c.iters = elapsed, ops, iters
+}
+
 // Device returns the device the clock charges against.
 func (c *Clock) Device() *Device { return c.dev }

@@ -36,6 +36,9 @@ func NewGroup(base *Device, count int, opt GroupOptions) (*Device, error) {
 	if count < 1 {
 		return nil, fmt.Errorf("device: NewGroup count %d < 1", count)
 	}
+	if opt.SyncOverhead < 0 {
+		return nil, fmt.Errorf("device: NewGroup sync overhead %v < 0", opt.SyncOverhead)
+	}
 	eff := opt.ScalingEfficiency
 	if eff == 0 {
 		eff = 0.9

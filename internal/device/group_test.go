@@ -12,8 +12,21 @@ func TestNewGroupErrors(t *testing.T) {
 	if _, err := NewGroup(testDevice(), 0, GroupOptions{}); err == nil {
 		t.Fatal("count 0 must error")
 	}
+	if _, err := NewGroup(testDevice(), -3, GroupOptions{}); err == nil {
+		t.Fatal("negative count must error")
+	}
 	if _, err := NewGroup(testDevice(), 2, GroupOptions{ScalingEfficiency: 1.5}); err == nil {
 		t.Fatal("efficiency > 1 must error")
+	}
+	if _, err := NewGroup(testDevice(), 2, GroupOptions{ScalingEfficiency: -0.5}); err == nil {
+		t.Fatal("negative efficiency must error")
+	}
+	if _, err := NewGroup(testDevice(), 2, GroupOptions{SyncOverhead: -time.Millisecond}); err == nil {
+		t.Fatal("negative sync overhead must error")
+	}
+	// The zero value stays valid: default efficiency, no sync cost.
+	if _, err := NewGroup(testDevice(), 2, GroupOptions{}); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,82 @@
+package jobs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzTrainRequestDecode fuzzes the POST /train JSON decoding and
+// validation (decodeTrainRequest never materializes datasets, so arbitrary
+// sizes in fuzzed bodies cost nothing). Accepted requests must satisfy the
+// documented bounds.
+func FuzzTrainRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"dataset":"mnist","n":500,"epochs":3}`))
+	f.Add([]byte(`{"name":"m","dataset":"susy","kernel":"laplacian","sigma":2,"method":"sgd"}`))
+	f.Add([]byte(`{"x":[[1,2],[3,4]],"y":[[1,0],[0,1]]}`))
+	f.Add([]byte(`{"x":[[1,2],[3,4]],"labels":[0,1],"classes":2}`))
+	f.Add([]byte(`{"dataset":"mnist","n":999999999}`))
+	f.Add([]byte(`{"x":[[1],[2,3]]}`))
+	f.Add([]byte(`{"epochs":-5}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"unknown":"field"}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeTrainRequest(bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		if req.Epochs < 1 || req.Epochs > maxTrainEpochs {
+			t.Fatalf("accepted epochs %d", req.Epochs)
+		}
+		if len(req.X) == 0 && (req.N < 16 || req.N > maxTrainSamples) {
+			t.Fatalf("accepted dataset n %d", req.N)
+		}
+		if len(req.X) > maxTrainSamples {
+			t.Fatalf("accepted %d inline rows", len(req.X))
+		}
+		// A validated request must materialize into a submittable spec
+		// without panicking — for inline data this is cheap; dataset
+		// presets are bounded by the n check above. Skip large presets to
+		// keep fuzzing fast.
+		if len(req.X) > 0 || req.N <= 256 {
+			if _, err := req.spec(); err != nil {
+				t.Fatalf("validated request failed to materialize: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzJobsHTTPPath fuzzes the /jobs/ path router: arbitrary ids and
+// actions must produce well-formed error responses, never panics.
+func FuzzJobsHTTPPath(f *testing.F) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	h := NewHandler(m)
+
+	f.Add("/jobs/job-1", "GET")
+	f.Add("/jobs/job-1/cancel", "POST")
+	f.Add("/jobs/job-1/resume", "POST")
+	f.Add("/jobs//cancel", "POST")
+	f.Add("/jobs/%2f/x/y", "POST")
+	f.Add("/jobs/", "GET")
+	f.Fuzz(func(t *testing.T, path, method string) {
+		if !strings.HasPrefix(path, "/jobs/") {
+			path = "/jobs/" + path
+		}
+		switch method {
+		case http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete:
+		default:
+			method = http.MethodGet
+		}
+		req := httptest.NewRequest(method, "/", nil)
+		req.URL.Path = path
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code < 200 || rec.Code > 599 {
+			t.Fatalf("implausible status %d", rec.Code)
+		}
+	})
+}

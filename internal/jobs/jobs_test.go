@@ -1,0 +1,466 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eigenpro/internal/core"
+	"eigenpro/internal/data"
+	"eigenpro/internal/kernel"
+	"eigenpro/internal/serve"
+)
+
+// smallSpec is a fast training job over a low-dimensional dataset.
+func smallSpec(name string, epochs int, seed int64) Spec {
+	ds := data.SUSYLike(200, seed)
+	return Spec{
+		Name: name,
+		Config: core.Config{
+			Kernel: kernel.Gaussian{Sigma: 3},
+			Epochs: epochs,
+			S:      64,
+			Seed:   seed,
+		},
+		X: ds.X,
+		Y: ds.Y,
+	}
+}
+
+// countingRegistrar records registrations.
+type countingRegistrar struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (r *countingRegistrar) Register(name string, m *core.Model) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m == nil || m.X == nil {
+		return fmt.Errorf("nil model for %q", name)
+	}
+	r.names = append(r.names, name)
+	return nil
+}
+
+func TestJobLifecycle(t *testing.T) {
+	reg := &countingRegistrar{}
+	m := New(Config{Workers: 1, Registrar: reg})
+	defer m.Close()
+
+	id, err := m.Submit(smallSpec("lifecycle", 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateDone {
+		t.Fatalf("state %q (err %q), want done", info.State, info.Error)
+	}
+	if !info.Servable {
+		t.Fatal("completed job must be servable")
+	}
+	if info.Epoch != 3 || info.Epochs != 3 {
+		t.Fatalf("epochs %d/%d", info.Epoch, info.Epochs)
+	}
+	if info.TrainMSE <= 0 || info.Iters == 0 || info.SimTime <= 0 {
+		t.Fatalf("metrics not populated: %+v", info)
+	}
+	if info.Submitted.IsZero() || info.Started.IsZero() || info.Finished.IsZero() {
+		t.Fatalf("timestamps not populated: %+v", info)
+	}
+	if len(reg.names) != 1 || reg.names[0] != "lifecycle" {
+		t.Fatalf("registered %v", reg.names)
+	}
+	if _, ok := m.Model(id); !ok {
+		t.Fatal("model not retained")
+	}
+	if infos := m.Jobs(); len(infos) != 1 || infos[0].ID != id {
+		t.Fatalf("listing %+v", infos)
+	}
+
+	// Eviction: terminal jobs can be deleted, freeing data and model.
+	if err := m.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Job(id); ok {
+		t.Fatal("deleted job still visible")
+	}
+	if len(m.Jobs()) != 0 {
+		t.Fatal("deleted job still listed")
+	}
+	if err := m.Delete(id); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+// TestDeleteNonTerminal ensures running/queued jobs cannot be evicted.
+func TestDeleteNonTerminal(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	id, err := m.Submit(smallSpec("busy", 300, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(id); err == nil {
+		t.Fatal("delete of non-terminal job accepted")
+	}
+	if err := m.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(id); err != nil {
+		t.Fatalf("delete after cancel: %v", err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	ds := data.SUSYLike(50, 1)
+	bad := []Spec{
+		{},
+		{Config: core.Config{Kernel: kernel.Gaussian{Sigma: 1}}, X: ds.X, Y: ds.Y},            // epochs 0
+		{Config: core.Config{Kernel: kernel.Gaussian{Sigma: 1}, Epochs: 1}},                   // nil data
+		{Config: core.Config{Kernel: kernel.Gaussian{Sigma: 1}, Epochs: 1}, X: ds.X, Y: ds.X}, // row mismatch is fine (same rows) — use different
+	}
+	bad[3].Y = data.SUSYLike(30, 1).Y
+	for i, s := range bad {
+		if _, err := m.Submit(s); err == nil {
+			t.Fatalf("spec %d accepted", i)
+		}
+	}
+	if _, ok := m.Job("nope"); ok {
+		t.Fatal("unknown job found")
+	}
+	if err := m.Cancel("nope"); err == nil {
+		t.Fatal("cancel of unknown job accepted")
+	}
+	if err := m.Resume("nope"); err == nil {
+		t.Fatal("resume of unknown job accepted")
+	}
+	if _, err := m.Wait("nope"); err == nil {
+		t.Fatal("wait on unknown job accepted")
+	}
+}
+
+// TestCancelResumeBitIdentical cancels a running job mid-training, resumes
+// it, and asserts the final coefficients are bit-identical to a direct
+// uninterrupted core.Train with the same seed — checkpoint-on-cancel plus
+// resume is exact, not approximate.
+func TestCancelResumeBitIdentical(t *testing.T) {
+	// Enough epochs that the cancel reliably lands mid-run even on a slow
+	// single-core machine.
+	spec := smallSpec("exact", 80, 3)
+	ref, err := core.Train(spec.Config, spec.X, spec.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	id, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel once at least one epoch has completed.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		info, _ := m.Job(id)
+		if info.Epoch >= 1 {
+			break
+		}
+		if terminal(info.State) || time.Now().After(deadline) {
+			t.Fatalf("job never progressed: %+v", info)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateCancelled {
+		// The job may have finished before the cancel landed; that makes
+		// the test vacuous, so fail loudly to re-tune sizes.
+		t.Fatalf("state %q, want cancelled", info.State)
+	}
+	if !info.Checkpointed {
+		t.Fatal("cancelled job must hold a checkpoint")
+	}
+	if info.Epoch >= info.Epochs {
+		t.Fatalf("cancelled after all %d epochs", info.Epochs)
+	}
+
+	if err := m.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+	info, err = m.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateDone {
+		t.Fatalf("resumed job state %q (err %q)", info.State, info.Error)
+	}
+	if info.Resumes != 1 {
+		t.Fatalf("resumes %d", info.Resumes)
+	}
+	got, ok := m.Model(id)
+	if !ok {
+		t.Fatal("no model after resume")
+	}
+	for i, v := range got.Alpha.Data {
+		if v != ref.Model.Alpha.Data[i] {
+			t.Fatalf("coefficient %d differs after cancel+resume: %v != %v", i, v, ref.Model.Alpha.Data[i])
+		}
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	// One worker pinned by a long job ⇒ the second job stays queued.
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	long, err := m.Submit(smallSpec("long", 200, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(smallSpec("queued", 2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(queued); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := m.Job(queued)
+	if info.State != StateCancelled {
+		t.Fatalf("state %q", info.State)
+	}
+	if info.Checkpointed {
+		t.Fatal("never-started job cannot hold a checkpoint")
+	}
+	if err := m.Cancel(queued); err == nil {
+		t.Fatal("double cancel of terminal job accepted")
+	}
+	// A cancelled-while-queued job resumes from scratch.
+	if err := m.Resume(queued); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(long); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := m.Wait(queued); err != nil || info.State == StateFailed {
+		t.Fatalf("resumed queued job: %+v err %v", info, err)
+	}
+}
+
+// TestConcurrentSubmitsPastPoolLimit races many submitters against a small
+// pool and queue: accepted jobs must all reach a terminal state, rejected
+// ones must fail with ErrQueueFull, and nothing may deadlock (run with
+// -race).
+func TestConcurrentSubmitsPastPoolLimit(t *testing.T) {
+	m := New(Config{Workers: 2, QueueDepth: 3})
+	defer m.Close()
+
+	const submitters = 12
+	var accepted sync.Map
+	var rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := m.Submit(smallSpec(fmt.Sprintf("c%d", i), 1, int64(i)))
+			if err != nil {
+				if err != ErrQueueFull {
+					t.Errorf("submit %d: %v", i, err)
+				}
+				rejected.Add(1)
+				return
+			}
+			accepted.Store(id, true)
+		}(i)
+	}
+	wg.Wait()
+	accepted.Range(func(k, _ any) bool {
+		info, err := m.Wait(k.(string))
+		if err != nil {
+			t.Errorf("wait %v: %v", k, err)
+			return true
+		}
+		if info.State != StateDone {
+			t.Errorf("job %v state %q (err %q)", k, info.State, info.Error)
+		}
+		return true
+	})
+	total := rejected.Load()
+	accepted.Range(func(_, _ any) bool { total++; return true })
+	if total != submitters {
+		t.Fatalf("accounted %d of %d submissions", total, submitters)
+	}
+}
+
+// TestCancelResumeUnderRace hammers cancel/resume transitions on a running
+// job (run with -race). The job must end in a terminal state and the
+// manager must survive.
+func TestCancelResumeUnderRace(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer m.Close()
+	id, err := m.Submit(smallSpec("hammer", 100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				m.Cancel(id)
+				m.Resume(id)
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	// Settle: ensure the job ends terminal.
+	m.Cancel(id)
+	info, err := m.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !terminal(info.State) {
+		t.Fatalf("state %q", info.State)
+	}
+}
+
+// TestCloseWithJobsInFlight shuts the manager down while jobs are queued
+// and running: running jobs checkpoint and park as cancelled, queued jobs
+// cancel, and Close returns without deadlock (run with -race).
+func TestCloseWithJobsInFlight(t *testing.T) {
+	m := New(Config{Workers: 2})
+	ids := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		id, err := m.Submit(smallSpec(fmt.Sprintf("s%d", i), 300, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Let at least one job start.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		running := 0
+		for _, id := range ids {
+			if info, _ := m.Job(id); info.State == StateRunning {
+				running++
+			}
+		}
+		if running > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	closed := make(chan struct{})
+	go func() {
+		m.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Close deadlocked with jobs in flight")
+	}
+	for _, id := range ids {
+		info, _ := m.Job(id)
+		if !terminal(info.State) {
+			t.Fatalf("job %s left in state %q after Close", id, info.State)
+		}
+	}
+	if _, err := m.Submit(smallSpec("late", 1, 9)); err != ErrClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+	m.Close() // idempotent
+}
+
+// TestAutoRegisterHotSwapDuringPredicts drives continuous predictions
+// against a served model while training jobs auto-register new models
+// under the same name — the registry hot-swap path exercised by an
+// in-flight job registration rather than by the predict path alone (run
+// with -race).
+func TestAutoRegisterHotSwapDuringPredicts(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2, Timeout: -1})
+	defer srv.Close()
+
+	// Seed model so predictions can start before the first job finishes.
+	first := smallSpec("hot", 1, 11)
+	res, err := core.Train(first.Config, first.X, first.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("hot", res.Model); err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(Config{Workers: 2, Registrar: srv})
+	defer m.Close()
+
+	stop := make(chan struct{})
+	var predErr atomic.Value
+	var wg sync.WaitGroup
+	query := first.X.RowView(0)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := srv.Predict(context.Background(), "hot", query); err != nil {
+					predErr.Store(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Two sequential jobs hot-swap the served model while predictions are
+	// in flight.
+	for i := 0; i < 2; i++ {
+		id, err := m.Submit(smallSpec("hot", 2, int64(20+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := m.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != StateDone || !info.Servable {
+			t.Fatalf("job %d: %+v", i, info)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := predErr.Load(); err != nil {
+		t.Fatalf("prediction failed during hot-swap: %v", err)
+	}
+	// The served model is the last job's, not the seed.
+	mdl, ok := srv.Model("hot")
+	if !ok {
+		t.Fatal("model missing after hot-swaps")
+	}
+	if mdl == res.Model {
+		t.Fatal("registry still serves the seed model")
+	}
+}

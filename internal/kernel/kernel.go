@@ -82,6 +82,31 @@ func (c Cauchy) OfSqDist(d2 float64) float64 { return 1 / (1 + d2/(c.Sigma*c.Sig
 // Name implements Func.
 func (c Cauchy) Name() string { return fmt.Sprintf("cauchy(σ=%g)", c.Sigma) }
 
+// ByName constructs a kernel from its family name and bandwidth — the one
+// mapping shared by the CLI flags, the HTTP training endpoint, and the gob
+// serialization format, so the three surfaces cannot drift apart.
+func ByName(family string, sigma float64) (Func, error) {
+	switch family {
+	case "gaussian":
+		return Gaussian{Sigma: sigma}, nil
+	case "laplacian":
+		return Laplacian{Sigma: sigma}, nil
+	case "cauchy":
+		return Cauchy{Sigma: sigma}, nil
+	case "matern32":
+		return Matern32{Sigma: sigma}, nil
+	case "matern52":
+		return Matern52{Sigma: sigma}, nil
+	default:
+		return nil, fmt.Errorf("kernel: unknown family %q", family)
+	}
+}
+
+// Families lists the family names ByName accepts.
+func Families() []string {
+	return []string{"gaussian", "laplacian", "cauchy", "matern32", "matern52"}
+}
+
 // PairwiseSqDist returns the a.Rows x b.Rows matrix of squared Euclidean
 // distances between the rows of a and the rows of b, computed via one GEMM.
 // Small negative values from cancellation are clamped to zero.

@@ -1,0 +1,169 @@
+package parallel
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"eigenpro/internal/core"
+	"eigenpro/internal/device"
+	"eigenpro/internal/mat"
+)
+
+// Checkpointing mirrors core.Trainer's: a snapshot at an epoch boundary
+// carries the config scalars, the device model, the Nyström spectrum, and
+// the mutable state (coefficients, counters, clock); everything analytic is
+// recomputed deterministically on resume, and the shuffling RNG is
+// reproduced by replaying the consumed per-epoch permutations. The caller
+// re-supplies the training data. Because every floating-point reduction in
+// the sharded path is deterministic (shards summed in worker order), a
+// resumed run reproduces the uninterrupted run bit for bit.
+
+const checkpointVersion = 1
+
+// checkpointWire is the on-wire layout of a sharded-trainer snapshot.
+type checkpointWire struct {
+	Version int
+
+	Workers      int
+	S, QMax, Q   int
+	Batch        int
+	Eta          float64
+	Epochs       int
+	StopTrainMSE float64
+	Seed         int64
+
+	Device  device.Device
+	N, D, L int
+
+	// Spectrum is a core.SaveSpectrum encoding.
+	Spectrum []byte
+
+	AlphaRows, AlphaCols int
+	AlphaData            []float64
+
+	Epoch         int
+	Iters         int
+	ClockElapsed  int64 // time.Duration
+	ClockOps      float64
+	ClockIters    int64
+	Wall          int64 // time.Duration
+	FinalTrainMSE float64
+	Converged     bool
+	Done          bool
+}
+
+// Checkpoint writes a resumable snapshot of the sharded trainer to w. Call
+// it between steps.
+func (t *Trainer) Checkpoint(w io.Writer) error {
+	var spBuf bytes.Buffer
+	if err := core.SaveSpectrum(&spBuf, t.sp); err != nil {
+		return fmt.Errorf("parallel: Checkpoint: %w", err)
+	}
+	dev := t.cfg.Device
+	if dev == nil {
+		dev = device.SimTitanXp()
+	}
+	wire := checkpointWire{
+		Version:       checkpointVersion,
+		Workers:       t.cfg.Workers,
+		S:             t.cfg.S,
+		QMax:          t.cfg.QMax,
+		Q:             t.cfg.Q,
+		Batch:         t.cfg.Batch,
+		Eta:           t.cfg.Eta,
+		Epochs:        t.cfg.Epochs,
+		StopTrainMSE:  t.cfg.StopTrainMSE,
+		Seed:          t.cfg.Seed,
+		Device:        *dev,
+		N:             t.n,
+		D:             t.d,
+		L:             t.l,
+		Spectrum:      spBuf.Bytes(),
+		AlphaRows:     t.model.Alpha.Rows,
+		AlphaCols:     t.model.Alpha.Cols,
+		AlphaData:     t.model.Alpha.Data,
+		Epoch:         t.epoch,
+		Iters:         t.res.Iters,
+		ClockElapsed:  int64(t.clock.Elapsed()),
+		ClockOps:      t.clock.Ops(),
+		ClockIters:    t.clock.Iterations(),
+		Wall:          int64(t.wall),
+		FinalTrainMSE: t.res.FinalTrainMSE,
+		Converged:     t.res.Converged,
+		Done:          t.done,
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("parallel: Checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ResumeTrainer reconstructs a sharded Trainer from a checkpoint written by
+// Trainer.Checkpoint. x and y must be the same matrices the original run
+// trained on. Stepping the returned trainer to completion produces
+// coefficients bit-identical to the uninterrupted run with the same seed.
+func ResumeTrainer(r io.Reader, x, y *mat.Dense) (*Trainer, error) {
+	var w checkpointWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("parallel: ResumeTrainer: %w", err)
+	}
+	if w.Version != checkpointVersion {
+		return nil, fmt.Errorf("parallel: ResumeTrainer: unsupported version %d", w.Version)
+	}
+	if x == nil || y == nil {
+		return nil, fmt.Errorf("parallel: ResumeTrainer: training data is required")
+	}
+	if x.Rows != w.N || x.Cols != w.D || y.Rows != w.N || y.Cols != w.L {
+		return nil, fmt.Errorf("parallel: ResumeTrainer: data %dx%d/%dx%d does not match checkpointed %dx%d/%dx%d",
+			x.Rows, x.Cols, y.Rows, y.Cols, w.N, w.D, w.N, w.L)
+	}
+	sp, err := core.LoadSpectrum(bytes.NewReader(w.Spectrum))
+	if err != nil {
+		return nil, fmt.Errorf("parallel: ResumeTrainer: %w", err)
+	}
+	dev := w.Device
+	cfg := Config{
+		Kernel:       sp.Kern,
+		Workers:      w.Workers,
+		Device:       &dev,
+		S:            w.S,
+		QMax:         w.QMax,
+		Q:            w.Q,
+		Batch:        w.Batch,
+		Eta:          w.Eta,
+		Epochs:       w.Epochs,
+		StopTrainMSE: w.StopTrainMSE,
+		Seed:         w.Seed,
+	}
+	t, err := newTrainer(cfg, x, y, sp)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: ResumeTrainer: %w", err)
+	}
+	if w.AlphaRows != t.model.Alpha.Rows || w.AlphaCols != t.model.Alpha.Cols ||
+		len(w.AlphaData) != w.AlphaRows*w.AlphaCols {
+		return nil, fmt.Errorf("parallel: ResumeTrainer: coefficients %dx%d (%d values), model wants %dx%d",
+			w.AlphaRows, w.AlphaCols, len(w.AlphaData), t.model.Alpha.Rows, t.model.Alpha.Cols)
+	}
+	if w.Epoch < 0 || w.Epoch > w.Epochs || math.IsNaN(w.ClockOps) {
+		// The epoch bound also caps the RNG replay below: a corrupt epoch
+		// count must error, not spin.
+		return nil, fmt.Errorf("parallel: ResumeTrainer: corrupt counters")
+	}
+	copy(t.model.Alpha.Data, w.AlphaData)
+	t.epoch = w.Epoch
+	t.done = w.Done
+	t.wall = time.Duration(w.Wall)
+	t.clock.Restore(time.Duration(w.ClockElapsed), w.ClockOps, w.ClockIters)
+	t.res.Iters = w.Iters
+	t.res.Epochs = w.Epoch
+	t.res.FinalTrainMSE = w.FinalTrainMSE
+	t.res.Converged = w.Converged
+	for i := 0; i < w.Epoch; i++ {
+		t.rng.Perm(x.Rows)
+	}
+	return t, nil
+}

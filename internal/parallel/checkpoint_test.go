@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"bytes"
+	"testing"
+
+	"eigenpro/internal/data"
+	"eigenpro/internal/kernel"
+)
+
+func shardedCheckpointCfg() Config {
+	return Config{
+		Kernel:  kernel.Gaussian{Sigma: 5},
+		Workers: 3,
+		Epochs:  3,
+		S:       100,
+		Seed:    5,
+	}
+}
+
+// TestShardedCheckpointResumeBitIdentical checkpoints the sharded trainer
+// at every epoch boundary, resumes, and asserts the final coefficients are
+// bit-identical to an uninterrupted run with the same seed — the same
+// equivalence the single-device trainer guarantees.
+func TestShardedCheckpointResumeBitIdentical(t *testing.T) {
+	cfg := shardedCheckpointCfg()
+	ds := data.MNISTLike(240, 21)
+
+	ref, err := Train(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for stop := 0; stop <= cfg.Epochs; stop++ {
+		tr, err := NewTrainer(cfg, ds.X, ds.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < stop && !tr.Done(); e++ {
+			if _, err := tr.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.Checkpoint(&buf); err != nil {
+			t.Fatalf("stop %d: checkpoint: %v", stop, err)
+		}
+		res, err := ResumeTrainer(&buf, ds.X, ds.Y)
+		if err != nil {
+			t.Fatalf("stop %d: resume: %v", stop, err)
+		}
+		for !res.Done() {
+			if _, err := res.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := res.Result()
+		if got.Epochs != ref.Epochs || got.Iters != ref.Iters {
+			t.Fatalf("stop %d: epochs/iters %d/%d, want %d/%d", stop, got.Epochs, got.Iters, ref.Epochs, ref.Iters)
+		}
+		for i, v := range got.Model.Alpha.Data {
+			if v != ref.Model.Alpha.Data[i] {
+				t.Fatalf("stop %d: coefficient %d differs: %v != %v (bit-exactness violated)",
+					stop, i, v, ref.Model.Alpha.Data[i])
+			}
+		}
+		if got.SimTime != ref.SimTime {
+			t.Fatalf("stop %d: sim time %v != %v", stop, got.SimTime, ref.SimTime)
+		}
+		if got.FinalTrainMSE != ref.FinalTrainMSE {
+			t.Fatalf("stop %d: final mse %v != %v", stop, got.FinalTrainMSE, ref.FinalTrainMSE)
+		}
+	}
+}
+
+// TestShardedResumeValidation exercises the resume error paths.
+func TestShardedResumeValidation(t *testing.T) {
+	cfg := shardedCheckpointCfg()
+	ds := data.MNISTLike(200, 23)
+	tr, err := NewTrainer(cfg, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	other := data.MNISTLike(120, 23)
+	if _, err := ResumeTrainer(bytes.NewReader(snap), other.X, other.Y); err == nil {
+		t.Fatal("mismatched data shape must fail")
+	}
+	if _, err := ResumeTrainer(bytes.NewReader(snap[:len(snap)/2]), ds.X, ds.Y); err == nil {
+		t.Fatal("truncated checkpoint must fail")
+	}
+}

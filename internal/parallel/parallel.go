@@ -71,8 +71,57 @@ type shard struct {
 }
 
 // Train fits a kernel machine with the center set partitioned across
-// cfg.Workers shards.
+// cfg.Workers shards. It is NewTrainer followed by Step until completion —
+// use the Trainer directly for progress-monitored, cancellable, or
+// checkpointed sharded training.
 func Train(cfg Config, x, y *mat.Dense) (*Result, error) {
+	t, err := NewTrainer(cfg, x, y)
+	if err != nil {
+		return nil, err
+	}
+	for !t.Done() {
+		if _, err := t.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return t.Result(), nil
+}
+
+// Trainer is the interruptible state machine behind Train, mirroring
+// core.Trainer for the sharded path: one Step per epoch, Checkpoint between
+// steps, ResumeTrainer to continue bit-for-bit. Not safe for concurrent use.
+type Trainer struct {
+	cfg    Config
+	x, y   *mat.Dense
+	sp     *core.Spectrum
+	params core.Params
+
+	n, d, l, s int
+	lambdaTop  float64
+	vq         *mat.Dense
+	dDiag      []float64
+	shards     []shard
+	partial    []*mat.Dense
+
+	model *core.Model
+	clock *device.Clock
+	rng   *rand.Rand
+	res   *Result
+
+	epoch int
+	done  bool
+	wall  time.Duration
+}
+
+// NewTrainer validates the configuration, estimates the spectrum, selects
+// the analytic parameters, and returns a Trainer positioned before epoch 1.
+func NewTrainer(cfg Config, x, y *mat.Dense) (*Trainer, error) {
+	return newTrainer(cfg, x, y, nil)
+}
+
+// newTrainer adopts a precomputed spectrum when sp is non-nil (the resume
+// path, where re-estimation would be wasted work).
+func newTrainer(cfg Config, x, y *mat.Dense, sp *core.Spectrum) (*Trainer, error) {
 	if cfg.Kernel == nil {
 		return nil, fmt.Errorf("parallel: Config.Kernel is required")
 	}
@@ -114,9 +163,21 @@ func Train(cfg Config, x, y *mat.Dense) (*Result, error) {
 	if qmax >= s {
 		qmax = s - 1
 	}
-	sp, err := core.EstimateSpectrum(cfg.Kernel, x, s, qmax, cfg.Seed)
-	if err != nil {
-		return nil, err
+	if sp == nil {
+		var err error
+		sp, err = core.EstimateSpectrum(cfg.Kernel, x, s, qmax, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s = sp.S()
+		// A decoded checkpoint spectrum indexes the training rows through
+		// SubIdx; entries outside [0, n) would panic in ownerOf.
+		for _, idx := range sp.SubIdx {
+			if idx < 0 || idx >= n {
+				return nil, fmt.Errorf("parallel: spectrum subsample index %d outside %d training rows", idx, n)
+			}
+		}
 	}
 	params := core.SelectParams(sp, dev, n, d, l)
 	if cfg.Q > 0 {
@@ -185,132 +246,178 @@ func Train(cfg Config, x, y *mat.Dense) (*Result, error) {
 	}
 
 	model := core.NewModel(cfg.Kernel, x, l)
-	alpha := model.Alpha
-	clock := device.NewClock(dev)
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	res := &Result{Model: model, Params: params}
-	m := params.Batch
-	start := time.Now()
-
-	partial := make([]*mat.Dense, cfg.Workers)
-	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
-		perm := rng.Perm(n)
-		sumSq, count := 0.0, 0
-		for bLo := 0; bLo < n; bLo += m {
-			bHi := bLo + m
-			if bHi > n {
-				bHi = n
-			}
-			batch := perm[bLo:bHi]
-			mt := len(batch)
-			etaT := params.Eta
-			if mt != m && cfg.Eta == 0 {
-				etaT = core.StepSize(mt, params.BetaAdapted, lambdaTop)
-			} else if mt != m {
-				etaT = cfg.Eta * float64(mt) / float64(m)
-			}
-			xb := x.SelectRows(batch)
-
-			// Workers compute partial predictions over their shards.
-			var wg sync.WaitGroup
-			kbs := make([]*mat.Dense, cfg.Workers)
-			for w, sh := range shards {
-				wg.Add(1)
-				go func(w int, sh shard) {
-					defer wg.Done()
-					xw := x.SliceRows(sh.lo, sh.hi)
-					kb := kernel.Matrix(cfg.Kernel, xb, xw) // m x n_w
-					aw := alpha.SliceRows(sh.lo, sh.hi)
-					partial[w] = mat.Mul(kb, aw)
-					kbs[w] = kb
-				}(w, sh)
-			}
-			wg.Wait()
-			// Deterministic allreduce in worker order.
-			f := partial[0].Clone()
-			for w := 1; w < cfg.Workers; w++ {
-				mat.AddInPlace(f, partial[w])
-			}
-			// Residual and loss.
-			r := f
-			for t, row := range batch {
-				yRow := y.RowView(row)
-				rRow := r.RowView(t)
-				for j := range rRow {
-					rRow[j] -= yRow[j]
-					sumSq += rRow[j] * rRow[j]
-				}
-			}
-			count += mt * l
-			if math.IsNaN(sumSq) || math.IsInf(sumSq, 0) {
-				return nil, fmt.Errorf("parallel: training diverged at epoch %d", epoch)
-			}
-			scale := etaT * 2 / float64(mt)
-
-			// Correction on the fixed block (computed once, applied by
-			// owners). Φ r = Σ_w Φ_w-part; the subsample columns of the
-			// batch kernel rows live in the shard kernels.
-			var t3 *mat.Dense
-			if q > 0 {
-				phiR := mat.NewDense(s, l)
-				for j, rowIdx := range sp.SubIdx {
-					w := ownerOf(shards, rowIdx)
-					col := rowIdx - shards[w].lo
-					kb := kbs[w]
-					dst := phiR.RowView(j)
-					for t := 0; t < mt; t++ {
-						kv := kb.At(t, col)
-						if kv == 0 {
-							continue
-						}
-						mat.Axpy(kv, r.RowView(t), dst)
-					}
-				}
-				t2 := mat.TMul(vq, phiR) // q x l
-				for i := 0; i < t2.Rows; i++ {
-					di := dDiag[i]
-					row := t2.RowView(i)
-					for j := range row {
-						row[j] *= di
-					}
-				}
-				t3 = mat.Mul(vq, t2) // s x l
-			}
-
-			// Owners apply updates to their coordinate blocks in parallel.
-			for w := range shards {
-				wg.Add(1)
-				go func(w int, sh shard) {
-					defer wg.Done()
-					for t, rowIdx := range batch {
-						if rowIdx >= sh.lo && rowIdx < sh.hi {
-							mat.Axpy(-scale, r.RowView(t), alpha.RowView(rowIdx))
-						}
-					}
-					if t3 != nil {
-						for j, rowIdx := range sp.SubIdx {
-							if rowIdx >= sh.lo && rowIdx < sh.hi {
-								mat.Axpy(scale, t3.RowView(j), alpha.RowView(rowIdx))
-							}
-						}
-					}
-				}(w, shards[w])
-			}
-			wg.Wait()
-
-			clock.Charge(core.ImprovedEigenProIterOps(n, mt, d, l, s, q))
-			res.Iters++
-		}
-		res.Epochs = epoch
-		res.FinalTrainMSE = sumSq / float64(count)
-		if cfg.StopTrainMSE > 0 && res.FinalTrainMSE < cfg.StopTrainMSE {
-			res.Converged = true
-			break
-		}
+	t := &Trainer{
+		cfg: cfg, x: x, y: y, sp: sp, params: params,
+		n: n, d: d, l: l, s: s,
+		lambdaTop: lambdaTop, vq: vq, dDiag: dDiag,
+		shards:  shards,
+		partial: make([]*mat.Dense, cfg.Workers),
+		model:   model,
+		clock:   device.NewClock(dev),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		res:     &Result{Model: model, Params: params},
 	}
-	res.SimTime = clock.Elapsed()
-	res.WallTime = time.Since(start)
-	return res, nil
+	return t, nil
+}
+
+// Done reports whether training has finished.
+func (t *Trainer) Done() bool { return t.done }
+
+// Epoch returns the number of completed epochs.
+func (t *Trainer) Epoch() int { return t.epoch }
+
+// Result returns the result accumulated so far; SimTime and WallTime
+// reflect the work done up to now.
+func (t *Trainer) Result() *Result {
+	t.res.SimTime = t.clock.Elapsed()
+	t.res.WallTime = t.wall
+	return t.res
+}
+
+// Step runs one epoch across the shards and returns its statistics
+// (ValError is always NaN: the sharded path has no validation hook). After
+// the final epoch Done reports true and further Steps return
+// core.ErrTrainingComplete.
+func (t *Trainer) Step() (core.EpochStats, error) {
+	if t.done {
+		return core.EpochStats{}, core.ErrTrainingComplete
+	}
+	start := time.Now()
+	defer func() { t.wall += time.Since(start) }()
+
+	cfg, params, sp, res := t.cfg, t.params, t.sp, t.res
+	x, y := t.x, t.y
+	n, d, l, s := t.n, t.d, t.l, t.s
+	q := params.QAdjusted
+	alpha := t.model.Alpha
+	m := params.Batch
+	epoch := t.epoch + 1
+
+	perm := t.rng.Perm(n)
+	sumSq, count := 0.0, 0
+	for bLo := 0; bLo < n; bLo += m {
+		bHi := bLo + m
+		if bHi > n {
+			bHi = n
+		}
+		batch := perm[bLo:bHi]
+		mt := len(batch)
+		etaT := params.Eta
+		if mt != m && cfg.Eta == 0 {
+			etaT = core.StepSize(mt, params.BetaAdapted, t.lambdaTop)
+		} else if mt != m {
+			etaT = cfg.Eta * float64(mt) / float64(m)
+		}
+		xb := x.SelectRows(batch)
+
+		// Workers compute partial predictions over their shards.
+		var wg sync.WaitGroup
+		kbs := make([]*mat.Dense, cfg.Workers)
+		for w, sh := range t.shards {
+			wg.Add(1)
+			go func(w int, sh shard) {
+				defer wg.Done()
+				xw := x.SliceRows(sh.lo, sh.hi)
+				kb := kernel.Matrix(cfg.Kernel, xb, xw) // m x n_w
+				aw := alpha.SliceRows(sh.lo, sh.hi)
+				t.partial[w] = mat.Mul(kb, aw)
+				kbs[w] = kb
+			}(w, sh)
+		}
+		wg.Wait()
+		// Deterministic allreduce in worker order.
+		f := t.partial[0].Clone()
+		for w := 1; w < cfg.Workers; w++ {
+			mat.AddInPlace(f, t.partial[w])
+		}
+		// Residual and loss.
+		r := f
+		for i, row := range batch {
+			yRow := y.RowView(row)
+			rRow := r.RowView(i)
+			for j := range rRow {
+				rRow[j] -= yRow[j]
+				sumSq += rRow[j] * rRow[j]
+			}
+		}
+		count += mt * l
+		if math.IsNaN(sumSq) || math.IsInf(sumSq, 0) {
+			t.done = true
+			return core.EpochStats{}, fmt.Errorf("parallel: training diverged at epoch %d", epoch)
+		}
+		scale := etaT * 2 / float64(mt)
+
+		// Correction on the fixed block (computed once, applied by
+		// owners). Φ r = Σ_w Φ_w-part; the subsample columns of the
+		// batch kernel rows live in the shard kernels.
+		var t3 *mat.Dense
+		if q > 0 {
+			phiR := mat.NewDense(s, l)
+			for j, rowIdx := range sp.SubIdx {
+				w := ownerOf(t.shards, rowIdx)
+				col := rowIdx - t.shards[w].lo
+				kb := kbs[w]
+				dst := phiR.RowView(j)
+				for i := 0; i < mt; i++ {
+					kv := kb.At(i, col)
+					if kv == 0 {
+						continue
+					}
+					mat.Axpy(kv, r.RowView(i), dst)
+				}
+			}
+			t2 := mat.TMul(t.vq, phiR) // q x l
+			for i := 0; i < t2.Rows; i++ {
+				di := t.dDiag[i]
+				row := t2.RowView(i)
+				for j := range row {
+					row[j] *= di
+				}
+			}
+			t3 = mat.Mul(t.vq, t2) // s x l
+		}
+
+		// Owners apply updates to their coordinate blocks in parallel.
+		for w := range t.shards {
+			wg.Add(1)
+			go func(w int, sh shard) {
+				defer wg.Done()
+				for i, rowIdx := range batch {
+					if rowIdx >= sh.lo && rowIdx < sh.hi {
+						mat.Axpy(-scale, r.RowView(i), alpha.RowView(rowIdx))
+					}
+				}
+				if t3 != nil {
+					for j, rowIdx := range sp.SubIdx {
+						if rowIdx >= sh.lo && rowIdx < sh.hi {
+							mat.Axpy(scale, t3.RowView(j), alpha.RowView(rowIdx))
+						}
+					}
+				}
+			}(w, t.shards[w])
+		}
+		wg.Wait()
+
+		t.clock.Charge(core.ImprovedEigenProIterOps(n, mt, d, l, s, q))
+		res.Iters++
+	}
+	res.Epochs = epoch
+	res.FinalTrainMSE = sumSq / float64(count)
+	t.epoch = epoch
+	if cfg.StopTrainMSE > 0 && res.FinalTrainMSE < cfg.StopTrainMSE {
+		res.Converged = true
+		t.done = true
+	}
+	if epoch >= cfg.Epochs {
+		t.done = true
+	}
+	return core.EpochStats{
+		Epoch:    epoch,
+		TrainMSE: res.FinalTrainMSE,
+		ValError: math.NaN(),
+		SimTime:  t.clock.Elapsed(),
+		Iters:    res.Iters,
+	}, nil
 }
 
 // ownerOf returns the index of the shard owning global row idx.

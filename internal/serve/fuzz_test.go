@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzPredictHTTP fuzzes the POST /v1/predict JSON decoding and error
+// paths: the handler must answer every body with a well-formed HTTP
+// response and never panic. No model is registered, so even
+// structurally-valid requests exit fast on the unknown-model path without
+// doing device work.
+func FuzzPredictHTTP(f *testing.F) {
+	s := New(Config{Workers: 1, Timeout: -1})
+	defer s.Close()
+	h := NewHandler(s)
+
+	f.Add([]byte(`{"model":"m","x":[1,2,3]}`))
+	f.Add([]byte(`{"xs":[[1],[2]]}`))
+	f.Add([]byte(`{"model":"default"}`))
+	f.Add([]byte(`{"x":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"model":123,"x":"nope"}`))
+	f.Add([]byte("{\"xs\":[[1e308,1e308]],\"model\":\"\u0000\"}"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code < 200 || rec.Code > 599 {
+			t.Fatalf("implausible status %d", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+	})
+}
+
+// FuzzModelUploadHTTP fuzzes the PUT /v1/models/{name} gob-decoding path
+// (it feeds LoadModel, which must reject corrupt bodies cleanly).
+func FuzzModelUploadHTTP(f *testing.F) {
+	s := New(Config{Workers: 1, Timeout: -1})
+	defer s.Close()
+	h := NewHandler(s)
+
+	f.Add("m", []byte("not a gob model"))
+	f.Add("m", []byte{})
+	f.Add("weird/name", []byte("x"))
+	f.Add("", []byte("x"))
+	f.Fuzz(func(t *testing.T, name string, body []byte) {
+		req := httptest.NewRequest(http.MethodPut, "/v1/models/", bytes.NewReader(body))
+		// Build the path manually: fuzzed names may not be URL-safe, which
+		// is exactly the point.
+		req.URL.Path = "/v1/models/" + name
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code < 200 || rec.Code > 599 {
+			t.Fatalf("implausible status %d", rec.Code)
+		}
+	})
+}
