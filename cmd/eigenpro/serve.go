@@ -25,6 +25,9 @@ func runServe(args []string) {
 	queue := fs.Int("queue", 1024, "request queue depth per model (admission control)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline")
+	metricsOn := fs.Bool("metrics", true, "expose GET /metrics and GET /debug/traces")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	traceEvery := fs.Int("trace-every", 1, "trace every Nth predict request (<0 disables tracing)")
 	trainWorkers := fs.Int("train-workers", 2, "training-job worker pool size")
 	trainQueue := fs.Int("train-queue", 64, "pending training-job queue depth")
 	dataset := fs.String("dataset", "mnist", "fallback training dataset when -model is empty")
@@ -34,12 +37,20 @@ func runServe(args []string) {
 	seed := fs.Int64("seed", 1, "fallback training seed")
 	fs.Parse(args)
 
+	// One registry and one trace ring shared by serving, the job manager,
+	// and (through it) the per-job trainers: a single /metrics scrape and
+	// /debug/traces read covers the whole process.
+	reg := eigenpro.NewMetricsRegistry()
+	tracer := eigenpro.NewTracer(0)
 	srv := eigenpro.NewServer(eigenpro.ServerConfig{
 		MaxBatch:   *maxBatch,
 		MaxLatency: *maxLatency,
 		QueueDepth: *queue,
 		Workers:    *workers,
 		Timeout:    *timeout,
+		Metrics:    reg,
+		Tracer:     tracer,
+		TraceEvery: *traceEvery,
 	})
 	defer srv.Close()
 
@@ -50,7 +61,7 @@ func runServe(args []string) {
 		}
 		fmt.Printf("serving model %q from %s\n", *name, *modelPath)
 	} else {
-		m, err := trainFallback(*dataset, *n, *sigma, *epochs, *seed)
+		m, err := trainFallback(*dataset, *n, *sigma, *epochs, *seed, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "train fallback model: %v\n", err)
 			os.Exit(1)
@@ -66,6 +77,8 @@ func runServe(args []string) {
 		Workers:    *trainWorkers,
 		QueueDepth: *trainQueue,
 		Registrar:  srv,
+		Metrics:    reg,
+		Tracer:     tracer,
 	})
 	defer mgr.Close()
 
@@ -73,25 +86,41 @@ func runServe(args []string) {
 	fmt.Printf("model: %d centers, %d features, %d outputs; device micro-batch m_max=%d\n",
 		mdl.X.Rows, mdl.X.Cols, mdl.Alpha.Cols,
 		eigenpro.SimTitanXp().ServeBatch(mdl.X.Rows, mdl.X.Cols, mdl.Alpha.Cols))
-	fmt.Printf("listening on %s — POST /v1/predict, GET /v1/stats, POST /train, GET /jobs\n", *addr)
-	if err := http.ListenAndServe(*addr, eigenpro.NewTrainServeHandler(srv, mgr)); err != nil {
+	mux := http.NewServeMux()
+	mux.Handle("/", eigenpro.NewTrainServeHandler(srv, mgr))
+	endpoints := "POST /v1/predict, GET /v1/stats, POST /train, GET /jobs"
+	if *metricsOn {
+		endpoints += ", GET /metrics"
+	} else {
+		mux.HandleFunc("/metrics", http.NotFound)
+		mux.HandleFunc("/debug/traces", http.NotFound)
+	}
+	if *pprofOn {
+		mux.Handle("/debug/pprof/", eigenpro.PprofHandler())
+		endpoints += ", GET /debug/pprof/"
+	}
+	fmt.Printf("listening on %s — %s\n", *addr, endpoints)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // trainFallback trains a small model so the server is usable without a
-// saved artifact.
-func trainFallback(dataset string, n int, sigma float64, epochs int, seed int64) (*eigenpro.Model, error) {
+// saved artifact. Its per-epoch telemetry reports into the shared
+// registry under job="startup", so /metrics carries trainer series even
+// before the first POST /train.
+func trainFallback(dataset string, n int, sigma float64, epochs int, seed int64, reg *eigenpro.MetricsRegistry) (*eigenpro.Model, error) {
 	ds, err := datasetByName(dataset, n, seed)
 	if err != nil {
 		return nil, err
 	}
 	fmt.Printf("no -model given; training on %d %s-like samples...\n", ds.N(), dataset)
 	res, err := eigenpro.Train(eigenpro.Config{
-		Kernel: eigenpro.GaussianKernel(sigma),
-		Epochs: epochs,
-		Seed:   seed,
+		Kernel:  eigenpro.GaussianKernel(sigma),
+		Epochs:  epochs,
+		Seed:    seed,
+		OnEpoch: eigenpro.ObserveTraining(reg, eigenpro.Label("job", "startup")),
 	}, ds.X, ds.Y)
 	if err != nil {
 		return nil, err

@@ -34,6 +34,7 @@ import (
 	"eigenpro/internal/kernel"
 	"eigenpro/internal/mat"
 	"eigenpro/internal/metrics"
+	"eigenpro/internal/obs"
 	"eigenpro/internal/parallel"
 	"eigenpro/internal/serve"
 	"eigenpro/internal/svm"
@@ -226,8 +227,52 @@ var (
 func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
 
 // NewServerHandler exposes a server over HTTP JSON (POST /v1/predict,
-// GET /v1/models, PUT /v1/models/{name}, GET /v1/stats, GET /healthz).
+// GET /v1/models, PUT /v1/models/{name}, GET /v1/stats, GET /metrics,
+// GET /debug/traces, GET /healthz, GET /readyz).
 func NewServerHandler(s *Server) http.Handler { return serve.NewHandler(s) }
+
+// MetricsRegistry is a dependency-free metrics registry (counters, gauges,
+// fixed-bucket histograms) with Prometheus text exposition. Pass one
+// registry as both ServerConfig.Metrics and TrainingConfig.Metrics to
+// expose serving, job, and training series from a single /metrics
+// endpoint.
+type MetricsRegistry = obs.Registry
+
+// Tracer is a bounded in-memory ring of per-request span traces.
+type Tracer = obs.Tracer
+
+// MetricLabel is one name=value metric dimension.
+type MetricLabel = obs.Label
+
+// Label is shorthand for MetricLabel{k, v}.
+func Label(k, v string) MetricLabel { return obs.L(k, v) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns a trace ring holding the newest capacity traces
+// (<= 0 selects a default capacity).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// MetricsHandler serves the registries in Prometheus text exposition
+// format (duplicate registries are exposed once).
+func MetricsHandler(regs ...*MetricsRegistry) http.Handler { return obs.MetricsHandler(regs...) }
+
+// TracesHandler serves the tracers' recent span traces as JSON.
+func TracesHandler(tracers ...*Tracer) http.Handler { return obs.TracesHandler(tracers...) }
+
+// PprofHandler serves the net/http/pprof profiling endpoints under
+// /debug/pprof/ — mount it explicitly (it is never wired in by default).
+func PprofHandler() http.Handler { return obs.PprofHandler() }
+
+// ObserveTraining returns a Config.OnEpoch hook that records per-epoch
+// training telemetry (epoch/iteration counters, epoch-duration histogram,
+// and labeled train-MSE / validation-error / device-utilization gauges)
+// into reg. The training manager installs this automatically for its jobs;
+// use it directly to instrument a standalone Train run.
+func ObserveTraining(reg *MetricsRegistry, labels ...MetricLabel) func(EpochStats) {
+	return core.ObserveTraining(reg, core.EpochStats{}, labels...)
+}
 
 // TrainingManager runs submitted training jobs asynchronously on a bounded
 // worker pool with per-epoch status, cancellation (checkpointing at the
@@ -288,12 +333,30 @@ func JobStatus(m *TrainingManager, id string) (TrainingJob, bool) { return m.Job
 // When the manager's Registrar is s, a model trained via POST /train is
 // immediately servable via POST /v1/predict under its submitted name — the
 // full train → serve loop over one HTTP server.
+//
+// GET /metrics merges the server's and the manager's registries (one
+// exposition when they share a registry), so a single scrape covers
+// request rates, rejection/expiry counts, micro-batch occupancy,
+// device-clock utilization, queue depths, per-job epoch progress, and the
+// train-MSE trajectory. GET /debug/traces merges both span rings, and
+// GET /readyz reports ready once a model is servable or the manager is
+// accepting jobs.
 func NewTrainServeHandler(s *Server, m *TrainingManager) http.Handler {
 	mux := http.NewServeMux()
 	jh := jobs.NewHandler(m)
 	mux.Handle("/train", jh)
 	mux.Handle("/jobs", jh)
 	mux.Handle("/jobs/", jh)
+	mux.Handle("/metrics", obs.MetricsHandler(s.Metrics(), m.Metrics()))
+	mux.Handle("/debug/traces", obs.TracesHandler(s.Tracer(), m.Tracer()))
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if len(s.Models()) == 0 && !m.Accepting() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "not ready\n")
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
 	mux.Handle("/", serve.NewHandler(s))
 	return mux
 }

@@ -1,0 +1,158 @@
+// Observability: wire serving, the training-job manager, and the per-job
+// trainers onto ONE metrics registry and ONE trace ring, then read the
+// whole process back through the unified endpoints — a Prometheus text
+// exposition at /metrics and per-request span traces at /debug/traces.
+//
+// The walkthrough drives the full train → serve loop over HTTP (the same
+// combined handler `eigenpro serve` mounts), then prints:
+//
+//   - the trace of one predict request (enqueue → batch-wait →
+//     device-execute), located in the ring by the trace ID the HTTP
+//     response echoed back;
+//   - the trace of the training job (submit → queue → epoch[k] →
+//     register);
+//   - a trimmed /metrics scrape showing serving, jobs, and trainer
+//     series side by side in one exposition.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"eigenpro"
+)
+
+func main() {
+	// One registry and one trace ring for the whole process. Passing the
+	// same pair to both configs is the entire integration story: serving
+	// counters, job-state gauges, and per-epoch training telemetry all
+	// land in the same exposition.
+	reg := eigenpro.NewMetricsRegistry()
+	tracer := eigenpro.NewTracer(0) // 0 = default ring capacity
+
+	srv := eigenpro.NewServer(eigenpro.ServerConfig{
+		Metrics: reg,
+		Tracer:  tracer,
+	})
+	defer srv.Close()
+	mgr := eigenpro.NewTrainingManager(eigenpro.TrainingConfig{
+		Workers:   1,
+		Registrar: srv, // finished jobs auto-register on the server
+		Metrics:   reg,
+		Tracer:    tracer,
+	})
+	defer mgr.Close()
+
+	ts := httptest.NewServer(eigenpro.NewTrainServeHandler(srv, mgr))
+	defer ts.Close()
+
+	// Train a model over HTTP and wait for it.
+	body := `{"name":"susy","dataset":"susy","n":400,"epochs":3,"s":64,"sigma":3,"seed":1}`
+	resp, err := http.Post(ts.URL+"/train", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var job eigenpro.TrainingJob
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted job %s (trace %s)\n", job.ID, job.TraceID)
+	for {
+		cur, ok := eigenpro.JobStatus(mgr, job.ID)
+		if !ok || cur.State == eigenpro.JobFailed {
+			log.Fatalf("job did not finish: %+v", cur)
+		}
+		if cur.State == eigenpro.JobDone {
+			fmt.Printf("job done: %d epochs, final mse %.3g\n", cur.Epoch, cur.TrainMSE)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Predict; the response echoes the trace ID (also in X-Trace-Id).
+	query := eigenpro.SUSYLike(4, 9).X.RowView(0)
+	pb, _ := json.Marshal(map[string]any{"model": "susy", "x": query})
+	pr, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(pb))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pred struct {
+		Labels  []int  `json:"labels"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(pr.Body).Decode(&pred); err != nil {
+		log.Fatal(err)
+	}
+	pr.Body.Close()
+	fmt.Printf("predicted label %d (trace %s)\n\n", pred.Labels[0], pred.TraceID)
+
+	// Pull the shared trace ring and print the two traces we hold IDs
+	// for: the predict request and the training job.
+	tr, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ring struct {
+		Traces []struct {
+			ID    string `json:"id"`
+			Name  string `json:"name"`
+			Spans []struct {
+				Name     string        `json:"name"`
+				Duration time.Duration `json:"duration_ns"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&ring); err != nil {
+		log.Fatal(err)
+	}
+	tr.Body.Close()
+	for _, snap := range ring.Traces {
+		if snap.ID != pred.TraceID && snap.ID != job.TraceID {
+			continue
+		}
+		fmt.Printf("trace %s (%s):\n", snap.ID, snap.Name)
+		for _, sp := range snap.Spans {
+			fmt.Printf("  %-16s %v\n", sp.Name, sp.Duration.Round(time.Microsecond))
+		}
+	}
+
+	// One /metrics scrape covers all three subsystems. Print the series
+	// this walkthrough touched (a real deployment points Prometheus at
+	// the endpoint instead).
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nselected /metrics series:")
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, prefix := range []string{
+			"eigenpro_serve_requests_total",
+			"eigenpro_serve_latency_seconds_count",
+			"eigenpro_serve_device_utilization",
+			"eigenpro_jobs_submitted_total",
+			"eigenpro_jobs_state",
+			"eigenpro_train_epochs_total",
+			"eigenpro_train_mse",
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Println("  " + line)
+			}
+		}
+	}
+}

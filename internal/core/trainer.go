@@ -105,6 +105,9 @@ type EpochStats struct {
 	ValError float64
 	// SimTime is the cumulative simulated device time at epoch end.
 	SimTime time.Duration
+	// Wall is the cumulative host wall time spent in Step at epoch end —
+	// the denominator for device-utilization telemetry.
+	Wall time.Duration
 	// Iters is the cumulative iteration count at epoch end.
 	Iters int
 }
@@ -543,6 +546,7 @@ func (t *Trainer) Step() (EpochStats, error) {
 		TrainMSE: sumSq / float64(count),
 		ValError: math.NaN(),
 		SimTime:  t.clock.Elapsed(),
+		Wall:     t.wall + time.Since(start),
 		Iters:    res.Iters,
 	}
 	if cfg.ValX != nil && len(cfg.ValLabels) > 0 {

@@ -18,6 +18,7 @@ package device
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -176,9 +177,12 @@ func (d *Device) ServeBatch(n, dim, labels int) int {
 func (d *Device) Fits(floats int64) bool { return floats <= d.MemoryFloats }
 
 // Clock accumulates simulated execution time and operation counts for a
-// sequence of iterations on a device.
+// sequence of iterations on a device. All methods are safe for concurrent
+// use, so a metrics scrape can read a clock that serving workers are
+// charging without an external lock.
 type Clock struct {
 	dev     *Device
+	mu      sync.Mutex
 	elapsed time.Duration
 	ops     float64
 	iters   int64
@@ -191,29 +195,49 @@ func NewClock(d *Device) *Clock { return &Clock{dev: d} }
 // simulated duration.
 func (c *Clock) Charge(ops float64) time.Duration {
 	t := c.dev.IterationTime(ops)
+	c.mu.Lock()
 	c.elapsed += t
 	c.ops += ops
 	c.iters++
+	c.mu.Unlock()
 	return t
 }
 
 // Elapsed returns total simulated time charged so far.
-func (c *Clock) Elapsed() time.Duration { return c.elapsed }
+func (c *Clock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
 
 // Ops returns total operations charged so far.
-func (c *Clock) Ops() float64 { return c.ops }
+func (c *Clock) Ops() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
 
 // Iterations returns the number of Charge calls.
-func (c *Clock) Iterations() int64 { return c.iters }
+func (c *Clock) Iterations() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.iters
+}
 
 // Reset zeroes the clock.
-func (c *Clock) Reset() { c.elapsed, c.ops, c.iters = 0, 0, 0 }
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.elapsed, c.ops, c.iters = 0, 0, 0
+	c.mu.Unlock()
+}
 
 // Restore sets the clock's accumulated totals. It is the inverse of reading
 // Elapsed/Ops/Iterations, used when resuming a checkpointed training run so
 // simulated-time accounting continues where the interrupted run left off.
 func (c *Clock) Restore(elapsed time.Duration, ops float64, iters int64) {
+	c.mu.Lock()
 	c.elapsed, c.ops, c.iters = elapsed, ops, iters
+	c.mu.Unlock()
 }
 
 // Device returns the device the clock charges against.

@@ -13,6 +13,7 @@ import (
 	"eigenpro/internal/data"
 	"eigenpro/internal/kernel"
 	"eigenpro/internal/mat"
+	"eigenpro/internal/obs"
 )
 
 // NewHandler exposes a Manager over HTTP JSON:
@@ -23,6 +24,10 @@ import (
 //	POST   /jobs/{id}/cancel  stop at the next epoch boundary (checkpointing)
 //	POST   /jobs/{id}/resume  continue a cancelled job bit-for-bit
 //	DELETE /jobs/{id}         evict a terminal job (frees data and model)
+//	GET    /metrics           Prometheus exposition of the manager's registry
+//	GET    /debug/traces      recent job span traces (JSON)
+//	GET    /healthz           liveness
+//	GET    /readyz            readiness: 200 while the manager accepts jobs
 //
 // Combined with the serving handler on one mux (eigenpro.NewTrainServeHandler),
 // a model trained via POST /train is immediately servable via POST
@@ -46,6 +51,19 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
 		handleJob(m, w, r)
+	})
+	mux.Handle("/metrics", obs.MetricsHandler(m.Metrics()))
+	mux.Handle("/debug/traces", obs.TracesHandler(m.Tracer()))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Accepting() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ok")
 	})
 	return mux
 }

@@ -33,6 +33,7 @@ import (
 
 	"eigenpro/internal/core"
 	"eigenpro/internal/mat"
+	"eigenpro/internal/obs"
 )
 
 // Errors returned by the job lifecycle.
@@ -63,6 +64,14 @@ type Config struct {
 	// Registrar, when non-nil, receives each completed model under the
 	// job's model name (Spec.Name, default the job id).
 	Registrar Registrar
+	// Metrics is the registry the job-lifecycle and per-job training
+	// telemetry registers into; nil creates a private registry (readable
+	// via Manager.Metrics). Pass a serving Server's registry to expose
+	// everything from one /metrics endpoint.
+	Metrics *obs.Registry
+	// Tracer records one span trace per job (submit → queue → epoch[k] →
+	// checkpoint/register); nil creates a private tracer.
+	Tracer *obs.Tracer
 }
 
 // Defaults for Config zero values.
@@ -144,6 +153,8 @@ type Info struct {
 	Checkpointed bool `json:"checkpointed"`
 	// Resumes counts how many times the job was resumed.
 	Resumes int `json:"resumes"`
+	// TraceID names the job's span trace at /debug/traces.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // job is the manager's mutable record for one submission.
@@ -153,6 +164,11 @@ type job struct {
 
 	spec Spec
 	info Info
+
+	// tr is the job's lifecycle trace; enq is when the job last entered
+	// the queue (submit or resume), the start of its "queue" span.
+	tr  *obs.Trace
+	enq time.Time
 
 	// cancelRequested is latched by Cancel; cancelCh wakes the running
 	// worker and is re-armed by Resume.
@@ -193,6 +209,13 @@ type Manager struct {
 	queue chan *job
 	done  chan struct{}
 	wg    sync.WaitGroup
+
+	// Lifecycle counters, registered in initMetrics.
+	submitted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
+	resumed   *obs.Counter
 }
 
 // New starts a manager with the given configuration. Close stops the
@@ -204,12 +227,19 @@ func New(cfg Config) *Manager {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
 	m := &Manager{
 		cfg:   cfg,
 		jobs:  make(map[string]*job),
 		queue: make(chan *job, cfg.QueueDepth),
 		done:  make(chan struct{}),
 	}
+	m.initMetrics()
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -245,15 +275,20 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	if name == "" {
 		name = id
 	}
+	now := time.Now()
+	tr := m.cfg.Tracer.Start("job:" + id)
 	j := &job{
 		spec:     spec,
+		tr:       tr,
+		enq:      now,
 		cancelCh: make(chan struct{}),
 		info: Info{
 			ID:        id,
 			Name:      name,
 			State:     StateQueued,
 			Epochs:    spec.Config.Epochs,
-			Submitted: time.Now(),
+			Submitted: now,
+			TraceID:   tr.ID(),
 		},
 	}
 	j.cond = sync.NewCond(&j.mu)
@@ -270,6 +305,8 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.mu.Unlock()
+	tr.Span("submit", now, time.Now())
+	m.submitted.Inc()
 	return id, nil
 }
 
@@ -326,6 +363,7 @@ func (m *Manager) Cancel(id string) error {
 	case StateQueued:
 		j.cancelRequested = true
 		j.info.State = StateCancelled
+		m.cancelled.Inc()
 		j.cond.Broadcast()
 		return nil
 	case StateRunning:
@@ -367,8 +405,10 @@ func (m *Manager) Resume(id string) error {
 	}
 	j.cancelRequested = false
 	j.cancelCh = make(chan struct{})
+	j.enq = time.Now()
 	j.info.State = StateQueued
 	j.info.Resumes++
+	m.resumed.Inc()
 	j.cond.Broadcast()
 	return nil
 }
@@ -413,6 +453,8 @@ func (m *Manager) Delete(id string) error {
 			break
 		}
 	}
+	// Evict the job's labeled training gauges with it.
+	core.UnobserveTraining(m.cfg.Metrics, obs.L("job", id))
 	return nil
 }
 
@@ -435,6 +477,7 @@ func (m *Manager) Close() {
 			j.set(func(i *Info) {
 				if i.State == StateQueued {
 					i.State = StateCancelled
+					m.cancelled.Inc()
 				}
 			})
 		default:
@@ -489,9 +532,11 @@ func (m *Manager) run(j *job) {
 	// A prior cancellation may have left a checkpoint-failure note; this
 	// run gets a clean slate.
 	j.info.Error = ""
+	id := j.info.ID
 	spec := j.spec
 	snapshot := j.checkpoint
 	cancelCh := j.cancelCh
+	j.tr.Span("queue", j.enq, time.Now())
 	j.cond.Broadcast()
 	j.mu.Unlock()
 
@@ -508,12 +553,23 @@ func (m *Manager) run(j *job) {
 		m.fail(j, err)
 		return
 	}
+	// Per-epoch training telemetry lands in the manager's registry labeled
+	// with the job id; a resumed trainer's base keeps the first delta from
+	// re-counting checkpointed totals. A user OnEpoch hook in the spec runs
+	// after it, on the same stats.
+	onEpoch := core.ChainEpochHooks(
+		core.ObserveTraining(m.cfg.Metrics, core.ObserveTrainingBase(t.Result()), obs.L("job", id)),
+		spec.Config.OnEpoch,
+	)
 	for !t.Done() {
+		epochStart := time.Now()
 		stats, err := t.Step()
 		if err != nil {
 			m.fail(j, err)
 			return
 		}
+		j.tr.Span(fmt.Sprintf("epoch[%d]", stats.Epoch), epochStart, time.Now())
+		onEpoch(stats)
 		j.set(func(i *Info) {
 			i.Epoch = stats.Epoch
 			i.TrainMSE = stats.TrainMSE
@@ -546,11 +602,14 @@ func (m *Manager) run(j *job) {
 	name := j.info.Name
 	j.mu.Unlock()
 	if m.cfg.Registrar != nil {
+		regStart := time.Now()
 		if err := m.cfg.Registrar.Register(name, res.Model); err != nil {
 			m.fail(j, fmt.Errorf("jobs: register model %q: %w", name, err))
 			return
 		}
+		j.tr.Span("register", regStart, time.Now())
 	}
+	m.completed.Inc()
 	j.set(func(i *Info) {
 		i.State = StateDone
 		i.Finished = time.Now()
@@ -561,8 +620,11 @@ func (m *Manager) run(j *job) {
 
 // park checkpoints an interrupted trainer and marks the job cancelled.
 func (m *Manager) park(j *job, t *core.Trainer) {
+	ckptStart := time.Now()
 	var buf bytes.Buffer
 	err := t.Checkpoint(&buf)
+	j.tr.Span("checkpoint", ckptStart, time.Now())
+	m.cancelled.Inc()
 	j.mu.Lock()
 	if err == nil {
 		j.checkpoint = buf.Bytes()
@@ -581,6 +643,7 @@ func (m *Manager) park(j *job, t *core.Trainer) {
 
 // fail marks the job failed.
 func (m *Manager) fail(j *job, err error) {
+	m.failed.Inc()
 	j.set(func(i *Info) {
 		i.State = StateFailed
 		i.Error = err.Error()

@@ -1,0 +1,72 @@
+package jobs
+
+import (
+	"eigenpro/internal/obs"
+)
+
+// Job-lifecycle telemetry series names. The lifecycle counters and the
+// queue-depth/per-state gauges register into Config.Metrics; per-epoch
+// training series (eigenpro_train_*) are recorded into the same registry
+// by the core.ObserveTraining hook each running job installs, labeled
+// job="<id>".
+const (
+	MetricJobsSubmitted  = "eigenpro_jobs_submitted_total"
+	MetricJobsCompleted  = "eigenpro_jobs_completed_total"
+	MetricJobsFailed     = "eigenpro_jobs_failed_total"
+	MetricJobsCancelled  = "eigenpro_jobs_cancelled_total"
+	MetricJobsResumed    = "eigenpro_jobs_resumed_total"
+	MetricJobsQueueDepth = "eigenpro_jobs_queue_depth"
+	MetricJobsState      = "eigenpro_jobs_state"
+)
+
+// allStates enumerates the lifecycle states exposed as per-state gauges.
+var allStates = []State{StateQueued, StateRunning, StateCancelled, StateDone, StateFailed}
+
+// initMetrics registers the manager's lifecycle series.
+func (m *Manager) initMetrics() {
+	reg := m.cfg.Metrics
+	m.submitted = reg.Counter(MetricJobsSubmitted, "Training jobs accepted by Submit.")
+	m.completed = reg.Counter(MetricJobsCompleted, "Training jobs that finished and registered.")
+	m.failed = reg.Counter(MetricJobsFailed, "Training jobs that ended in StateFailed.")
+	m.cancelled = reg.Counter(MetricJobsCancelled, "Times a job entered StateCancelled.")
+	m.resumed = reg.Counter(MetricJobsResumed, "Times a cancelled job was resumed.")
+	reg.GaugeFunc(MetricJobsQueueDepth, "Jobs queued, waiting for a worker.",
+		func() float64 { return float64(len(m.queue)) })
+	for _, st := range allStates {
+		st := st
+		reg.GaugeFunc(MetricJobsState, "Jobs currently in the labeled lifecycle state.",
+			func() float64 { return float64(m.countState(st)) },
+			obs.L("state", string(st)))
+	}
+}
+
+// countState counts jobs currently in the given state (scrape-time only).
+func (m *Manager) countState(s State) int {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, j := range js {
+		if j.snapshot().State == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics returns the registry the manager's telemetry registers into.
+func (m *Manager) Metrics() *obs.Registry { return m.cfg.Metrics }
+
+// Tracer returns the span ring recording job lifecycle traces.
+func (m *Manager) Tracer() *obs.Tracer { return m.cfg.Tracer }
+
+// Accepting reports whether the manager accepts new submissions — the
+// readiness signal behind GET /readyz.
+func (m *Manager) Accepting() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed
+}

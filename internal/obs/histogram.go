@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets (upper-bound
+// inclusive) plus an implicit +Inf overflow bucket, and tracks the sum
+// and count for mean derivation. All operations are lock-free: Observe is
+// two atomic adds, so instrumenting a hot path cannot contend with
+// exposition.
+type Histogram struct {
+	bounds []float64       // finite upper bounds, ascending
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucket(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// bucket returns the index of the first bucket whose bound is >= v
+// (binary search), or the overflow index.
+func (h *Histogram) bucket(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Mean returns Sum/Count, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Load() / float64(n)
+}
+
+// Quantile estimates the q-quantile as the upper bound of the bucket
+// holding the nearest-rank observation (rank = ceil(q·n), so the p99 of
+// 10 samples is the 10th, not the 9th). With no observations it returns
+// 0; a rank falling in the overflow bucket returns the largest finite
+// bound (the estimate saturates rather than reporting +Inf); a histogram
+// with no finite buckets returns NaN for any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	// Snapshot the buckets once; concurrent Observes may make the view
+	// slightly torn, which only perturbs the estimate by a sample.
+	var total uint64
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			// Overflow bucket: saturate at the largest finite bound.
+			if len(h.bounds) > 0 {
+				return h.bounds[len(h.bounds)-1]
+			}
+			return math.NaN()
+		}
+	}
+	// Unreachable: cum == total >= rank by the loop's end.
+	return math.NaN()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's buckets.
+type HistogramSnapshot struct {
+	// Bounds are the finite bucket upper bounds.
+	Bounds []float64
+	// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
+	// Counts are per-bucket (not cumulative).
+	Counts []uint64
+	// Sum and Count aggregate all observations.
+	Sum   float64
+	Count uint64
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// write renders the histogram in exposition format: cumulative
+// name_bucket{le="..."} series, then name_sum and name_count.
+func (h *Histogram) write(w io.Writer, name string, labels []Label) error {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		key := labelKey(append(append([]Label(nil), labels...), Label{Key: "le", Value: le}))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, key, cum); err != nil {
+			return err
+		}
+	}
+	key := labelKey(labels)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, key, formatFloat(h.sum.Load())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, key, h.count.Load())
+	return err
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the union of the given registries in Prometheus
+// text exposition format at any path it is mounted on. Duplicate
+// registry pointers are written once, so a combined handler whose
+// subsystems share one registry exposes each series exactly once.
+func MetricsHandler(regs ...*Registry) http.Handler {
+	uniq := dedupRegistries(regs)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range uniq {
+			if err := reg.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func dedupRegistries(regs []*Registry) []*Registry {
+	seen := make(map[*Registry]bool, len(regs))
+	out := make([]*Registry, 0, len(regs))
+	for _, r := range regs {
+		if r == nil || seen[r] {
+			continue
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// TracesHandler serves the union of the given tracers' rings as JSON
+// ({"traces": [...]}, newest first per tracer, duplicates written once).
+func TracesHandler(tracers ...*Tracer) http.Handler {
+	seen := make(map[*Tracer]bool, len(tracers))
+	uniq := make([]*Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t == nil || seen[t] {
+			continue
+		}
+		seen[t] = true
+		uniq = append(uniq, t)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		all := []TraceSnapshot{}
+		for _, t := range uniq {
+			all = append(all, t.Snapshot()...)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(map[string]any{"traces": all}); err != nil {
+			// Headers are already out; nothing useful left to do.
+			_ = err
+		}
+	})
+}
+
+// PprofHandler serves the standard net/http/pprof endpoints under
+// /debug/pprof/ without touching http.DefaultServeMux, so profiling is
+// exposed only where it is explicitly mounted (behind the CLI's -pprof
+// flag).
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

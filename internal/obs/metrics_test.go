@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if again := r.Counter("test_total", "a counter"); again != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+
+	g := r.Gauge("test_gauge", "a gauge", L("k", "v"))
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	if r.Gauge("test_gauge", "a gauge", L("k", "v2")) == g {
+		t.Fatal("different label values shared a series")
+	}
+
+	r.GaugeFunc("test_fn", "func gauge", func() float64 { return 7 })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_total counter",
+		"test_total 3.5",
+		"# TYPE test_gauge gauge",
+		`test_gauge{k="v"} 2.5`,
+		`test_gauge{k="v2"} 0`,
+		"test_fn 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual_use", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dual_use", "")
+}
+
+func TestRegistryRemove(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("per_job", "", L("job", "job-1"))
+	r.Gauge("per_job", "", L("job", "job-2"))
+	if n := r.NumSeries(); n != 2 {
+		t.Fatalf("NumSeries = %d, want 2", n)
+	}
+	r.Remove("per_job", L("job", "job-1"))
+	r.Remove("per_job", L("job", "absent")) // no-op
+	r.Remove("no_such_family")              // no-op
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), `job="job-1"`) {
+		t.Fatalf("removed series still exposed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `job="job-2"`) {
+		t.Fatalf("surviving series missing:\n%s", buf.String())
+	}
+}
+
+// TestConcurrentWritesDuringExposition hammers every metric kind from many
+// goroutines while other goroutines continuously render the exposition —
+// the -race check that scraping /metrics cannot corrupt hot-path writers.
+func TestConcurrentWritesDuringExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "")
+	h := r.Histogram("hot_hist", "", ExpBuckets(0.001, 2, 10))
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			g := r.Gauge("hot_gauge", "", L("worker", string(rune('a'+i))))
+			for j := 0; j < 2000; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				h.Observe(float64(j) * 0.0007)
+				if j%100 == 0 {
+					// Registration races exposition too.
+					r.Counter("late_total", "", L("w", string(rune('a'+i))))
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.WritePrometheus(io.Discard)
+					h.Quantile(0.99)
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+// expositionLine matches one Prometheus text-format sample line.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+
+func TestExpositionLineFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fmt_total", "help text").Add(12)
+	r.Gauge("fmt_gauge", "", L("model", `we"ird\na"me`)).Set(-1.25e-7)
+	r.Histogram("fmt_hist", "h", []float64{0.5, 1}).Observe(0.75)
+	srv := httptest.NewServer(MetricsHandler(r, r, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	n := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		n++
+	}
+	// One counter + one gauge + histogram (3 buckets + sum + count); the
+	// duplicate registry pointer must not double the series.
+	if want := 2 + 5; n != want {
+		t.Fatalf("%d sample lines, want %d:\n%s", n, want, body)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	// Empty histogram: quantiles are 0.
+	h := r.Histogram("q_empty", "", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	if h.Mean() != 0 || h.Count() != 0 {
+		t.Fatalf("empty mean/count = %v/%d", h.Mean(), h.Count())
+	}
+
+	// Single-bucket histogram: every in-range observation reports that
+	// bucket's bound.
+	one := r.Histogram("q_one", "", []float64{10})
+	one.Observe(3)
+	one.Observe(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 10 {
+			t.Fatalf("single-bucket q%v = %v, want 10", q, got)
+		}
+	}
+
+	// Overflow bucket: ranks landing beyond the last finite bound
+	// saturate at it instead of reporting +Inf.
+	over := r.Histogram("q_over", "", []float64{1, 2})
+	over.Observe(0.5)
+	over.Observe(100)
+	over.Observe(200)
+	if got := over.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow q99 = %v, want saturation at 2", got)
+	}
+	if got := over.Quantile(0.01); got != 1 {
+		t.Fatalf("q01 = %v, want 1", got)
+	}
+
+	// No finite buckets at all: NaN (nothing meaningful to report).
+	none := r.Histogram("q_none", "", nil)
+	none.Observe(5)
+	if got := none.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("no-bucket quantile = %v, want NaN", got)
+	}
+
+	// Nearest-rank semantics: p99 of 10 samples is the 10th.
+	nr := r.Histogram("q_rank", "", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for i := 1; i <= 10; i++ {
+		nr.Observe(float64(i))
+	}
+	if got := nr.Quantile(0.99); got != 10 {
+		t.Fatalf("nearest-rank p99 = %v, want 10", got)
+	}
+	if got := nr.Quantile(0.5); got != 5 {
+		t.Fatalf("nearest-rank p50 = %v, want 5", got)
+	}
+
+	// Snapshot carries per-bucket (non-cumulative) counts.
+	s := over.Snapshot()
+	if len(s.Counts) != 3 || s.Counts[0] != 1 || s.Counts[1] != 0 || s.Counts[2] != 2 {
+		t.Fatalf("snapshot counts = %v", s.Counts)
+	}
+	if s.Count != 3 || s.Sum != 300.5 {
+		t.Fatalf("snapshot sum/count = %v/%d", s.Sum, s.Count)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(50e-6, 2, 4)
+	want := []float64{50e-6, 100e-6, 200e-6, 400e-6}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity is the trace-ring size when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 256
+
+// Span is one named interval inside a trace.
+type Span struct {
+	// Name identifies the stage, e.g. "batch-wait" or "epoch[3]".
+	Name string `json:"name"`
+	// Start is the span's wall-clock start.
+	Start time.Time `json:"start"`
+	// Duration is the span's length.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Trace is one request's (or job's) recorded lifetime: an ID, a name,
+// and an append-only list of spans. All methods are nil-safe no-ops, so
+// instrumentation sites never branch on whether tracing is enabled.
+type Trace struct {
+	id    string
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// ID returns the trace's hex ID ("" for a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Span records a completed interval.
+func (t *Trace) Span(name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Duration: end.Sub(start)})
+	t.mu.Unlock()
+}
+
+// StartSpan opens an interval now and returns the closer that records it.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Span(name, start, time.Now()) }
+}
+
+// TraceSnapshot is a point-in-time copy of one trace for /debug/traces.
+type TraceSnapshot struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	Spans []Span    `json:"spans"`
+}
+
+// Tracer hands out traces and retains the most recent ones in a bounded
+// ring: the newest Cap() traces are readable, older ones are overwritten.
+// A nil Tracer is valid and disables tracing (Start returns nil).
+type Tracer struct {
+	mu   sync.Mutex
+	ring []*Trace
+	next int // ring write index
+	n    int // live entries (ring warm-up)
+}
+
+// NewTracer returns a tracer retaining the last capacity traces
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]*Trace, capacity)}
+}
+
+// traceSeq and traceSalt make IDs unique across tracers within a process
+// and unlikely to collide across processes.
+var (
+	traceSeq  atomic.Uint64
+	traceSalt = uint64(time.Now().UnixNano())
+)
+
+// newTraceID returns a 16-hex-digit ID (splitmix64 over a process-salted
+// sequence — unique in-process, no locks).
+func newTraceID() string {
+	z := traceSeq.Add(1)*0x9e3779b97f4a7c15 ^ traceSalt
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return fmt.Sprintf("%016x", z^(z>>31))
+}
+
+// Start creates a trace, inserts it into the ring (possibly overwriting
+// the oldest), and returns it. Start on a nil tracer returns nil, which
+// every Trace method tolerates.
+func (t *Tracer) Start(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	tr := &Trace{id: newTraceID(), name: name, start: time.Now()}
+	t.mu.Lock()
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+	return tr
+}
+
+// Cap returns the ring capacity (0 for a nil tracer).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Len returns the number of retained traces.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Snapshot copies the retained traces, newest first.
+func (t *Tracer) Snapshot() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	live := make([]*Trace, 0, t.n)
+	for i := 1; i <= t.n; i++ {
+		live = append(live, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
+	}
+	t.mu.Unlock()
+	out := make([]TraceSnapshot, len(live))
+	for i, tr := range live {
+		out[i] = tr.snapshot()
+	}
+	return out
+}
+
+// Find returns the retained trace with the given ID.
+func (t *Tracer) Find(id string) (TraceSnapshot, bool) {
+	if t == nil {
+		return TraceSnapshot{}, false
+	}
+	t.mu.Lock()
+	var found *Trace
+	for i := 1; i <= t.n; i++ {
+		if tr := t.ring[(t.next-i+len(t.ring))%len(t.ring)]; tr.id == id {
+			found = tr
+			break
+		}
+	}
+	t.mu.Unlock()
+	if found == nil {
+		return TraceSnapshot{}, false
+	}
+	return found.snapshot(), true
+}
+
+func (tr *Trace) snapshot() TraceSnapshot {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return TraceSnapshot{
+		ID:    tr.id,
+		Name:  tr.name,
+		Start: tr.start,
+		Spans: append([]Span(nil), tr.spans...),
+	}
+}
+
+// ctxKey keys the trace stored in a context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tr, so a handler-started trace collects
+// the spans of everything downstream (the batcher, the device execution).
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceBasics(t *testing.T) {
+	tc := NewTracer(8)
+	tr := tc.Start("predict")
+	if tr.ID() == "" {
+		t.Fatal("empty trace ID")
+	}
+	start := time.Now()
+	tr.Span("enqueue", start, start.Add(time.Microsecond))
+	done := tr.StartSpan("device-execute")
+	done()
+	snap, ok := tc.Find(tr.ID())
+	if !ok {
+		t.Fatalf("trace %s not found in ring", tr.ID())
+	}
+	if len(snap.Spans) != 2 || snap.Spans[0].Name != "enqueue" || snap.Spans[1].Name != "device-execute" {
+		t.Fatalf("spans = %+v", snap.Spans)
+	}
+	if snap.Spans[0].Duration != time.Microsecond {
+		t.Fatalf("span duration = %v", snap.Spans[0].Duration)
+	}
+
+	if tc2 := NewTracer(4); tc2.Start("a").ID() == tc2.Start("a").ID() {
+		t.Fatal("trace IDs collide")
+	}
+}
+
+func TestNilTracerAndTraceAreNoOps(t *testing.T) {
+	var tc *Tracer
+	tr := tc.Start("x")
+	if tr != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	// All of these must be safe on a nil trace.
+	if tr.ID() != "" {
+		t.Fatal("nil trace has an ID")
+	}
+	tr.Span("s", time.Now(), time.Now())
+	tr.StartSpan("s")()
+	if tc.Len() != 0 || tc.Cap() != 0 || tc.Snapshot() != nil {
+		t.Fatal("nil tracer not empty")
+	}
+	if _, ok := tc.Find("abc"); ok {
+		t.Fatal("nil tracer found a trace")
+	}
+}
+
+// TestTraceRingWraparound fills the ring past capacity and checks that
+// exactly the newest Cap() traces survive, newest first.
+func TestTraceRingWraparound(t *testing.T) {
+	tc := NewTracer(4)
+	var ids []string
+	for i := 0; i < 10; i++ {
+		ids = append(ids, tc.Start(fmt.Sprintf("t%d", i)).ID())
+	}
+	if tc.Len() != 4 {
+		t.Fatalf("ring len = %d, want 4", tc.Len())
+	}
+	snap := tc.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	for i, s := range snap {
+		// Newest first: t9, t8, t7, t6.
+		if want := fmt.Sprintf("t%d", 9-i); s.Name != want {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, s.Name, want)
+		}
+	}
+	// Overwritten traces are gone; retained ones are findable.
+	if _, ok := tc.Find(ids[0]); ok {
+		t.Fatal("overwritten trace still findable")
+	}
+	if _, ok := tc.Find(ids[9]); !ok {
+		t.Fatal("newest trace not findable")
+	}
+
+	// Partial ring (no wraparound yet) snapshots only what exists.
+	small := NewTracer(8)
+	small.Start("only")
+	if snap := small.Snapshot(); len(snap) != 1 || snap[0].Name != "only" {
+		t.Fatalf("partial snapshot = %+v", snap)
+	}
+}
+
+// TestTraceRingConcurrent races Start/Span against Snapshot/Find under
+// -race: wraparound must not tear snapshots.
+func TestTraceRingConcurrent(t *testing.T) {
+	tc := NewTracer(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr := tc.Start("req")
+				tr.StartSpan("work")()
+			}
+		}()
+	}
+	var readers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, s := range tc.Snapshot() {
+						tc.Find(s.ID)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if tc.Len() != 16 {
+		t.Fatalf("ring len = %d, want 16", tc.Len())
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context carried a trace")
+	}
+	if ctx := NewContext(context.Background(), nil); FromContext(ctx) != nil {
+		t.Fatal("nil trace stored in context")
+	}
+	tr := NewTracer(1).Start("x")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace not carried through context")
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tc := NewTracer(4)
+	tr := tc.Start("http.predict")
+	tr.StartSpan("device-execute")()
+	srv := httptest.NewServer(TracesHandler(tc, tc, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Traces []TraceSnapshot `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Traces) != 1 {
+		t.Fatalf("traces = %d, want 1 (dedup of identical tracers)", len(body.Traces))
+	}
+	if body.Traces[0].ID != tr.ID() || len(body.Traces[0].Spans) != 1 {
+		t.Fatalf("trace = %+v", body.Traces[0])
+	}
+}
+
+func TestPprofHandler(t *testing.T) {
+	srv := httptest.NewServer(PprofHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}

@@ -416,6 +416,7 @@ func (t *Trainer) Step() (core.EpochStats, error) {
 		TrainMSE: res.FinalTrainMSE,
 		ValError: math.NaN(),
 		SimTime:  t.clock.Elapsed(),
+		Wall:     t.wall + time.Since(start),
 		Iters:    res.Iters,
 	}, nil
 }

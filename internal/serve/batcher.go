@@ -1,10 +1,15 @@
 package serve
 
-import "time"
+import (
+	"time"
+
+	"eigenpro/internal/obs"
+)
 
 // request is one queued Predict call.
 type request struct {
 	x        []float64
+	tr       *obs.Trace // nil unless this request is traced
 	enq      time.Time
 	deadline time.Time // zero means none
 	out      []float64

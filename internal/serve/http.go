@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"eigenpro/internal/mat"
+	"eigenpro/internal/obs"
 )
 
 // NewHandler exposes a Server over HTTP JSON:
@@ -18,11 +19,17 @@ import (
 //	GET  /v1/models         list registered model names
 //	PUT  /v1/models/{name}  gob model body (core.SaveModel) → register/hot-swap
 //	GET  /v1/stats          serving counters
+//	GET  /metrics           Prometheus text exposition of the server's registry
+//	GET  /debug/traces      recent request span traces (JSON)
 //	GET  /healthz           liveness
+//	GET  /readyz            readiness: 200 once at least one model is registered
 //
 // Each row of a predict request is routed through the batcher individually,
 // so concurrent HTTP clients (and the rows of one multi-row request)
-// coalesce into shared device-saturating micro-batches.
+// coalesce into shared device-saturating micro-batches. Sampled predict
+// requests (Config.TraceEvery) get a trace whose ID is echoed in the
+// X-Trace-Id response header and the trace_id response field; its spans
+// are readable at /debug/traces.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
@@ -58,10 +65,26 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
 	})
+	mux.Handle("/metrics", obs.MetricsHandler(s.Metrics()))
+	mux.Handle("/debug/traces", obs.TracesHandler(s.Tracer()))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", readyHandler(func() bool { return len(s.Models()) > 0 }))
 	return mux
+}
+
+// readyHandler returns a readiness endpoint: 200 "ok" when ready reports
+// true, 503 otherwise.
+func readyHandler(ready func() bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 // predictRequest is the POST /v1/predict body; X carries one query, XS a
@@ -73,11 +96,13 @@ type predictRequest struct {
 }
 
 // predictResponse is the POST /v1/predict reply: one output row and argmax
-// label per query row.
+// label per query row. TraceID names the request's span trace at
+// /debug/traces when the request was sampled for tracing.
 type predictResponse struct {
-	Model  string      `json:"model"`
-	Y      [][]float64 `json:"y"`
-	Labels []int       `json:"labels"`
+	Model   string      `json:"model"`
+	Y       [][]float64 `json:"y"`
+	Labels  []int       `json:"labels"`
+	TraceID string      `json:"trace_id,omitempty"`
 }
 
 func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
@@ -102,6 +127,15 @@ func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
 		Y:      make([][]float64, len(rows)),
 		Labels: make([]int, len(rows)),
 	}
+	// A sampled request gets one trace shared by all its rows, carried to
+	// Server.Predict through the context; the ID is echoed in the header
+	// and body so the caller can look its spans up at /debug/traces.
+	ctx := r.Context()
+	if tr := s.startTrace("http.predict"); tr != nil {
+		ctx = obs.NewContext(ctx, tr)
+		resp.TraceID = tr.ID()
+		w.Header().Set("X-Trace-Id", tr.ID())
+	}
 	// Rows go through Server.Predict concurrently so they coalesce into
 	// micro-batches with each other and with other in-flight requests.
 	errs := make([]error, len(rows))
@@ -110,7 +144,7 @@ func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, x []float64) {
 			defer wg.Done()
-			out, err := s.Predict(r.Context(), req.Model, x)
+			out, err := s.Predict(ctx, req.Model, x)
 			if err != nil {
 				errs[i] = err
 				return

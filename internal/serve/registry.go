@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"eigenpro/internal/core"
+	"eigenpro/internal/obs"
 )
 
 // entry is one named model slot: the hot-swappable model pointer, its
@@ -43,6 +44,10 @@ func (r *Registry) register(name string, m *core.Model) error {
 	if !ok {
 		e = &entry{name: name, queue: make(chan *request, r.srv.cfg.QueueDepth)}
 		r.entries[name] = e
+		r.srv.cfg.Metrics.GaugeFunc(MetricServeQueueDepth,
+			"Requests waiting in the model's queue.",
+			func() float64 { return float64(len(e.queue)) },
+			obs.L("model", name))
 		r.srv.collWG.Add(1)
 		go r.srv.runBatcher(e)
 	}

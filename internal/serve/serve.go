@@ -38,6 +38,7 @@ import (
 	"eigenpro/internal/core"
 	"eigenpro/internal/device"
 	"eigenpro/internal/mat"
+	"eigenpro/internal/obs"
 )
 
 // Errors returned by the request path.
@@ -75,6 +76,18 @@ type Config struct {
 	// Timeout is the default per-request deadline applied when the caller's
 	// context has none. 0 selects DefaultTimeout; < 0 disables the default.
 	Timeout time.Duration
+	// Metrics is the registry the serving telemetry registers into; nil
+	// creates a private registry (readable via Server.Metrics). Pass a
+	// shared registry to expose serving, jobs, and trainer series from one
+	// /metrics endpoint.
+	Metrics *obs.Registry
+	// Tracer records per-request span traces; nil creates a private tracer
+	// of DefaultTraceCapacity. Readable via Server.Tracer.
+	Tracer *obs.Tracer
+	// TraceEvery samples request tracing: every Nth request not already
+	// carrying a trace in its context starts one. 0 traces every request;
+	// < 0 disables tracing.
+	TraceEvery int
 }
 
 // Defaults for Config zero values.
@@ -104,16 +117,26 @@ func (c Config) withDefaults() Config {
 	case c.Timeout < 0:
 		c.Timeout = 0
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
+	if c.TraceEvery == 0 {
+		c.TraceEvery = 1
+	}
 	return c
 }
 
 // Server coalesces concurrent Predict calls into device-saturating
 // micro-batches over a registry of named models.
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	work  chan *batch
-	stats *statsCore
+	cfg      Config
+	reg      *Registry
+	work     chan *batch
+	stats    *statsCore
+	traceSeq atomic.Uint64 // request counter for TraceEvery sampling
 
 	done    chan struct{}
 	closed  atomic.Bool
@@ -129,10 +152,12 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		work:  make(chan *batch, cfg.Workers),
-		stats: newStatsCore(cfg.Device),
+		stats: newStatsCore(cfg.Device, cfg.Metrics),
 		done:  make(chan struct{}),
 	}
 	s.reg = newRegistry(s)
+	cfg.Metrics.GaugeFunc(MetricServeModels, "Registered model count.",
+		func() float64 { return float64(len(s.reg.names())) })
 	s.workWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go func() {
@@ -193,7 +218,11 @@ func (s *Server) Predict(ctx context.Context, name string, x []float64) ([]float
 	if m := e.model.Load(); len(x) != m.X.Cols {
 		return nil, fmt.Errorf("serve: model %q wants %d features, got %d", name, m.X.Cols, len(x))
 	}
-	req := &request{x: x, enq: time.Now(), done: make(chan struct{})}
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		tr = s.startTrace("predict")
+	}
+	req := &request{x: x, tr: tr, enq: time.Now(), done: make(chan struct{})}
 	if d, ok := ctx.Deadline(); ok {
 		req.deadline = d
 	} else if s.cfg.Timeout > 0 {
@@ -201,6 +230,7 @@ func (s *Server) Predict(ctx context.Context, name string, x []float64) ([]float
 	}
 	select {
 	case e.queue <- req:
+		tr.Span("enqueue", req.enq, time.Now())
 	default:
 		s.stats.recordRejected()
 		return nil, ErrOverloaded
@@ -226,6 +256,25 @@ func (s *Server) PredictLabel(ctx context.Context, name string, x []float64) (in
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// Metrics returns the registry the serving telemetry registers into.
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// Tracer returns the span ring recording sampled request traces.
+func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// startTrace starts a trace if this request is sampled (per
+// Config.TraceEvery), or returns nil — safe to use as a no-op trace.
+func (s *Server) startTrace(name string) *obs.Trace {
+	n := s.cfg.TraceEvery
+	if n <= 0 {
+		return nil
+	}
+	if n > 1 && (s.traceSeq.Add(1)-1)%uint64(n) != 0 {
+		return nil
+	}
+	return s.cfg.Tracer.Start(name)
+}
 
 // Close stops the batchers and workers. Queued requests fail with
 // ErrClosed; in-flight batches complete. Close is idempotent.
@@ -270,6 +319,7 @@ func (s *Server) execute(b *batch) {
 	for i, r := range live {
 		rows[i] = r.x
 	}
+	execStart := time.Now()
 	xq := mat.StackRows(rows, m.X.Cols)
 	out := m.PredictBatch(xq, 0)
 	s.stats.charge(core.PredictOps(m.X.Rows, len(live), m.X.Cols, m.Alpha.Cols))
@@ -278,6 +328,8 @@ func (s *Server) execute(b *batch) {
 	done := time.Now()
 	for _, r := range live {
 		s.stats.recordDone(done.Sub(r.enq))
+		r.tr.Span("batch-wait", r.enq, execStart)
+		r.tr.Span("device-execute", execStart, done)
 	}
 	s.stats.recordBatch(len(live))
 	for i, r := range live {

@@ -2,98 +2,128 @@ package serve
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
 	"strings"
-	"sync"
 	"time"
 
 	"eigenpro/internal/device"
+	"eigenpro/internal/obs"
+)
+
+// Serving telemetry series names. One serving Server owns these series in
+// its registry; the device CounterFuncs and utilization GaugeFunc read the
+// first server's clock, so share a registry across servers only when they
+// share a device budget.
+const (
+	MetricServeRequests   = "eigenpro_serve_requests_total"
+	MetricServeRejected   = "eigenpro_serve_rejected_total"
+	MetricServeExpired    = "eigenpro_serve_expired_total"
+	MetricServeBatches    = "eigenpro_serve_batches_total"
+	MetricServeOccupancy  = "eigenpro_serve_batch_occupancy"
+	MetricServeLatency    = "eigenpro_serve_latency_seconds"
+	MetricServeDeviceBusy = "eigenpro_serve_device_busy_seconds_total"
+	MetricServeDeviceOps  = "eigenpro_serve_device_ops_total"
+	MetricServeDeviceUtil = "eigenpro_serve_device_utilization"
+	MetricServeUptime     = "eigenpro_serve_uptime_seconds"
+	MetricServeModels     = "eigenpro_serve_models"
+	MetricServeQueueDepth = "eigenpro_serve_queue_depth"
 )
 
 // latBucket0 is the upper bound of the first latency bucket; bucket i
 // covers (latBucket0·2^(i-1), latBucket0·2^i].
 const (
 	latBucket0   = 50 * time.Microsecond
-	latBucketCnt = 26 // top bucket ≈ 28 minutes; slower goes in the last
+	latBucketCnt = 26 // top bucket ≈ 28 minutes; slower goes in the overflow
 	occBucketCnt = 21 // occupancy up to 2^20 per micro-batch
 )
 
-// statsCore accumulates the serving counters; all methods are safe for
-// concurrent use.
+// latBounds are the latency histogram bucket upper bounds as durations;
+// latBoundsSec is the same table in seconds for obs.Histogram.
+var (
+	latBounds    [latBucketCnt]time.Duration
+	latBoundsSec []float64
+	occBounds    []float64
+)
+
+func init() {
+	latBoundsSec = make([]float64, latBucketCnt)
+	b := latBucket0
+	for i := 0; i < latBucketCnt; i++ {
+		latBounds[i] = b
+		latBoundsSec[i] = b.Seconds()
+		b *= 2
+	}
+	occBounds = make([]float64, occBucketCnt)
+	for i := range occBounds {
+		occBounds[i] = float64(int64(1) << i)
+	}
+}
+
+// statsCore accumulates the serving counters as lock-free obs metrics: the
+// hot path (recordDone, recordBatch, charge) performs only atomic adds, so
+// a metrics scrape or a Stats snapshot can never contend with it.
 type statsCore struct {
-	mu         sync.Mutex
-	start      time.Time
-	clock      *device.Clock
-	requests   int64
-	rejected   int64
-	expired    int64
-	batches    int64
-	occSum     int64
-	occBuckets [occBucketCnt]int64
-	latBuckets [latBucketCnt]int64
+	start time.Time
+	clock *device.Clock
+
+	requests *obs.Counter
+	rejected *obs.Counter
+	expired  *obs.Counter
+	batches  *obs.Counter
+	occ      *obs.Histogram
+	lat      *obs.Histogram
 }
 
-func newStatsCore(dev *device.Device) *statsCore {
-	return &statsCore{start: time.Now(), clock: device.NewClock(dev)}
+func newStatsCore(dev *device.Device, reg *obs.Registry) *statsCore {
+	s := &statsCore{
+		start: time.Now(),
+		clock: device.NewClock(dev),
+
+		requests: reg.Counter(MetricServeRequests, "Completed predictions."),
+		rejected: reg.Counter(MetricServeRejected, "Requests rejected by admission control (queue full)."),
+		expired:  reg.Counter(MetricServeExpired, "Requests that expired while queued."),
+		batches:  reg.Counter(MetricServeBatches, "Dispatched micro-batches."),
+		occ: reg.Histogram(MetricServeOccupancy,
+			"Requests carried per dispatched micro-batch.", occBounds),
+		lat: reg.Histogram(MetricServeLatency,
+			"Enqueue-to-completion request latency.", latBoundsSec),
+	}
+	reg.CounterFunc(MetricServeDeviceBusy,
+		"Simulated device time charged by serving.",
+		func() float64 { return s.clock.Elapsed().Seconds() })
+	reg.CounterFunc(MetricServeDeviceOps,
+		"Simulated device operations charged by serving.",
+		func() float64 { return s.clock.Ops() })
+	reg.GaugeFunc(MetricServeDeviceUtil,
+		"Simulated-device busy seconds per wall second since start.",
+		func() float64 {
+			if up := time.Since(s.start).Seconds(); up > 0 {
+				return s.clock.Elapsed().Seconds() / up
+			}
+			return 0
+		})
+	reg.GaugeFunc(MetricServeUptime, "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	return s
 }
 
-func (s *statsCore) recordRejected() {
-	s.mu.Lock()
-	s.rejected++
-	s.mu.Unlock()
-}
+func (s *statsCore) recordRejected() { s.rejected.Inc() }
+func (s *statsCore) recordExpired()  { s.expired.Inc() }
 
-func (s *statsCore) recordExpired() {
-	s.mu.Lock()
-	s.expired++
-	s.mu.Unlock()
-}
-
-// charge accounts one micro-batch's operations on the simulated device.
-func (s *statsCore) charge(ops float64) time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.clock.Charge(ops)
-}
+// charge accounts one micro-batch's operations on the simulated device;
+// the clock is internally synchronized.
+func (s *statsCore) charge(ops float64) time.Duration { return s.clock.Charge(ops) }
 
 // recordBatch records a dispatched micro-batch of the given occupancy.
 func (s *statsCore) recordBatch(occ int) {
-	s.mu.Lock()
-	s.batches++
-	s.occSum += int64(occ)
-	s.occBuckets[pow2Bucket(occ, occBucketCnt)]++
-	s.mu.Unlock()
+	s.batches.Inc()
+	s.occ.Observe(float64(occ))
 }
 
 // recordDone records one completed request and its enqueue-to-completion
 // latency.
 func (s *statsCore) recordDone(lat time.Duration) {
-	s.mu.Lock()
-	s.requests++
-	s.latBuckets[latBucket(lat)]++
-	s.mu.Unlock()
-}
-
-// pow2Bucket maps v >= 1 to ceil(log2(v)) clamped to [0, n).
-func pow2Bucket(v, n int) int {
-	if v <= 1 {
-		return 0
-	}
-	b := bits.Len(uint(v - 1))
-	if b >= n {
-		b = n - 1
-	}
-	return b
-}
-
-// latBucket maps a latency to its histogram bucket.
-func latBucket(lat time.Duration) int {
-	b := 0
-	for bound := latBucket0; lat > bound && b < latBucketCnt-1; bound *= 2 {
-		b++
-	}
-	return b
+	s.requests.Inc()
+	s.lat.Observe(lat.Seconds())
 }
 
 // OccupancyBucket is one bar of the batch-occupancy histogram: Count
@@ -129,65 +159,60 @@ type Stats struct {
 	Occupancy []OccupancyBucket
 }
 
-// snapshot derives a Stats from the counters.
+// snapshot derives a Stats from the metrics. It takes no lock: every read
+// is an atomic load, so snapshotting (or scraping /metrics, which reads
+// the same series) cannot stall the request path.
 func (s *statsCore) snapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := Stats{
 		Uptime:   time.Since(s.start),
-		Requests: s.requests,
-		Rejected: s.rejected,
-		Expired:  s.expired,
-		Batches:  s.batches,
+		Requests: int64(s.requests.Value()),
+		Rejected: int64(s.rejected.Value()),
+		Expired:  int64(s.expired.Value()),
+		Batches:  int64(s.batches.Value()),
 		SimTime:  s.clock.Elapsed(),
 		SimOps:   s.clock.Ops(),
 	}
-	if s.batches > 0 {
-		st.MeanOccupancy = float64(s.occSum) / float64(s.batches)
+	if occ := s.occ.Snapshot(); occ.Count > 0 {
+		st.MeanOccupancy = occ.Sum / float64(occ.Count)
+		lo := 1
+		for i, bound := range occ.Bounds {
+			hi := int(bound)
+			c := occ.Counts[i]
+			if i == len(occ.Bounds)-1 {
+				// Fold the overflow bucket into the last bar.
+				c += occ.Counts[len(occ.Counts)-1]
+			}
+			if c > 0 {
+				st.Occupancy = append(st.Occupancy, OccupancyBucket{Lo: lo, Hi: hi, Count: int64(c)})
+			}
+			lo = hi + 1
+		}
 	}
 	if up := st.Uptime.Seconds(); up > 0 {
-		st.Throughput = float64(s.requests) / up
+		st.Throughput = float64(st.Requests) / up
 	}
 	if sim := st.SimTime.Seconds(); sim > 0 {
-		st.SimThroughput = float64(s.requests) / sim
+		st.SimThroughput = float64(st.Requests) / sim
 	}
 	st.P50 = s.latQuantile(0.50)
 	st.P99 = s.latQuantile(0.99)
-	lo := 1
-	for i, c := range s.occBuckets {
-		hi := 1 << i
-		if c > 0 {
-			st.Occupancy = append(st.Occupancy, OccupancyBucket{Lo: lo, Hi: hi, Count: c})
-		}
-		lo = hi + 1
-	}
 	return st
 }
 
 // latQuantile returns the upper bound of the bucket holding the q-quantile
-// completed request. Callers must hold s.mu.
+// completed request, as a duration from the exact bucket-bound table (a
+// seconds→duration round trip could drift by a nanosecond).
 func (s *statsCore) latQuantile(q float64) time.Duration {
-	if s.requests == 0 {
+	sec := s.lat.Quantile(q)
+	if sec == 0 {
 		return 0
 	}
-	// Nearest-rank quantile: ceil(q·n), so p99 of 10 samples is the 10th,
-	// not the 9th.
-	rank := int64(math.Ceil(q * float64(s.requests)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	bound := latBucket0
-	for i, c := range s.latBuckets {
-		cum += c
-		if cum >= rank {
-			return bound
-		}
-		if i < latBucketCnt-1 {
-			bound *= 2
+	for i, b := range latBoundsSec {
+		if b >= sec {
+			return latBounds[i]
 		}
 	}
-	return bound
+	return latBounds[latBucketCnt-1]
 }
 
 // String renders the snapshot as an aligned text table.
