@@ -108,6 +108,12 @@ func BenchmarkMultiGPU(b *testing.B) { benchReport(b, bench.MultiGPU) }
 // the training benchmarks track the paper's artifacts.
 func BenchmarkServing(b *testing.B) { benchReport(b, bench.ServingThroughput) }
 
+// BenchmarkOverloadServing measures how batch occupancy and goodput hold
+// up at 2x saturation with 25% client cancellation — the request-lifecycle
+// hardening (cancellation propagation, greedy drain, deadline-aware
+// shedding) as a measured workload.
+func BenchmarkOverloadServing(b *testing.B) { benchReport(b, bench.OverloadServing) }
+
 // BenchmarkTrainingJobs measures async training-job throughput and
 // submit-to-servable latency across job-manager worker-pool sizes — the
 // train → serve loop as a managed workload.

@@ -25,6 +25,7 @@ func runServe(args []string) {
 	queue := fs.Int("queue", 1024, "request queue depth per model (admission control)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline")
+	shed := fs.Bool("shed", false, "deadline-aware admission: reject requests whose deadline cannot survive the estimated queue wait (429)")
 	metricsOn := fs.Bool("metrics", true, "expose GET /metrics and GET /debug/traces")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceEvery := fs.Int("trace-every", 1, "trace every Nth predict request (<0 disables tracing)")
@@ -48,6 +49,7 @@ func runServe(args []string) {
 		QueueDepth: *queue,
 		Workers:    *workers,
 		Timeout:    *timeout,
+		Shed:       *shed,
 		Metrics:    reg,
 		Tracer:     tracer,
 		TraceEvery: *traceEvery,

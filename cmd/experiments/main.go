@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|figure2|figure3a|figure3b|table1|table2|table3|table4|accel|pca|robustness|serving|jobs|obs-overhead] [-scale small|medium|large]
+//	experiments [-run all|figure2|figure3a|figure3b|table1|table2|table3|table4|accel|pca|robustness|serving|overload|jobs|obs-overhead] [-scale small|medium|large]
 package main
 
 import (
@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "experiment id: all, figure2, figure3a, figure3b, table1, table2, table3, table4, accel, pca, robustness, ablation-q, ablation-s, multigpu, serving, jobs, obs-overhead")
+	runFlag := flag.String("run", "all", "experiment id: all, figure2, figure3a, figure3b, table1, table2, table3, table4, accel, pca, robustness, ablation-q, ablation-s, multigpu, serving, overload, jobs, obs-overhead")
 	scaleFlag := flag.String("scale", "medium", "workload scale: small, medium, large")
 	flag.Parse()
 
@@ -65,6 +65,8 @@ func main() {
 		reports, err = one(bench.MultiGPU, scale)
 	case "serving":
 		reports, err = one(bench.ServingThroughput, scale)
+	case "overload":
+		reports, err = one(bench.OverloadServing, scale)
 	case "jobs":
 		reports, err = one(bench.TrainingJobs, scale)
 	case "obs-overhead":

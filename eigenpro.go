@@ -219,6 +219,10 @@ var (
 	// ErrRequestExpired reports a per-request deadline that lapsed while
 	// the request was queued.
 	ErrRequestExpired = serve.ErrDeadlineExceeded
+	// ErrRequestShed reports a deadline-aware admission rejection
+	// (ServerConfig.Shed): the request's deadline could not survive the
+	// estimated queue wait, so it was refused before queueing doomed work.
+	ErrRequestShed = serve.ErrShed
 )
 
 // NewServer starts a batched inference server. Register models with

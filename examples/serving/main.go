@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -49,12 +50,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Fire concurrent closed-loop clients, each classifying test rows.
+	// Fire concurrent closed-loop clients, each classifying test rows. Every
+	// tenth request is canceled by its caller before it is issued — an
+	// impatient client hanging up. The server reaps those requests before
+	// they reach the device (the "abandoned" row of the stats below), so no
+	// device time is spent computing responses nobody reads, and the latency
+	// quantiles carry only delivered responses.
 	const (
 		clients   = 32
 		perClient = 40
+		cancelNth = 10
 	)
-	var correct, total atomic.Int64
+	var correct, total, hungUp atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < clients; c++ {
@@ -62,9 +69,19 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
+				ctx := context.Background()
+				if i%cancelNth == cancelNth-1 {
+					cctx, cancel := context.WithCancel(ctx)
+					cancel()
+					ctx = cctx
+				}
 				row := (c*perClient + i) % test.N()
-				label, err := srv.PredictLabel(context.Background(), "mnist", test.X.RowView(row))
+				label, err := srv.PredictLabel(ctx, "mnist", test.X.RowView(row))
 				if err != nil {
+					if errors.Is(err, context.Canceled) {
+						hungUp.Add(1)
+						continue
+					}
 					log.Printf("client %d: %v", c, err)
 					return
 				}
@@ -78,8 +95,9 @@ func main() {
 	wg.Wait()
 	wall := time.Since(start)
 
-	fmt.Printf("\n%d clients × %d requests: %.1f%% accuracy in %v wall\n",
-		clients, perClient, 100*float64(correct.Load())/float64(total.Load()), wall.Round(time.Millisecond))
+	fmt.Printf("\n%d clients × %d requests (%d hung up): %.1f%% accuracy in %v wall\n",
+		clients, perClient, hungUp.Load(),
+		100*float64(correct.Load())/float64(total.Load()), wall.Round(time.Millisecond))
 	fmt.Println()
 	fmt.Print(srv.Stats())
 

@@ -1,0 +1,63 @@
+package bench
+
+import "testing"
+
+// TestOverloadServingRuns checks the overload study end to end and the
+// PR's acceptance criterion: under 2x saturation with 25% client
+// cancellation, mean batch occupancy stays at or above 0.8*m_max and
+// canceled requests charge zero device ops (every executed row was a
+// delivered response).
+func TestOverloadServingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	points, err := OverloadStudy(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(points))
+	}
+
+	var canceled *OverloadPoint
+	for i := range points {
+		if points[i].CancelPct == 25 && !points[i].Shed {
+			canceled = &points[i]
+		}
+	}
+	if canceled == nil {
+		t.Fatalf("missing the 25%%-cancellation point: %+v", points)
+	}
+	if canceled.Abandoned == 0 {
+		t.Fatal("no requests were abandoned at 25% client cancellation")
+	}
+	if canceled.Delivered == 0 || canceled.Goodput <= 0 {
+		t.Fatalf("no goodput under overload: %+v", *canceled)
+	}
+	// The paper's m_max argument under overload: saturation must produce
+	// full waves even while the queue carries canceled corpses.
+	if floor := 0.8 * float64(canceled.MaxBatch); canceled.MeanOccupancy < floor {
+		t.Fatalf("mean occupancy %.1f below 0.8*m_max = %.1f at 2x saturation with cancellation",
+			canceled.MeanOccupancy, floor)
+	}
+	// Cancellation propagation: a canceled request must never reach the
+	// device, so the rows executed (occupancy histogram mass) are exactly
+	// the delivered responses — zero device ops charged to canceled work.
+	if canceled.ExecutedRows != canceled.Delivered {
+		t.Fatalf("executed %d rows but delivered %d responses: canceled requests reached the device",
+			canceled.ExecutedRows, canceled.Delivered)
+	}
+
+	// The clean baseline must not be worse.
+	if base := points[0]; base.MeanOccupancy < 0.8*float64(base.MaxBatch) {
+		t.Fatalf("baseline occupancy %.1f below 0.8*m_max", base.MeanOccupancy)
+	}
+
+	rep, err := OverloadServing(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("report rows = %d, want 3", len(rep.Rows))
+	}
+}

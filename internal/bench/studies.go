@@ -124,7 +124,8 @@ func All(scale Scale) ([]*Report, error) {
 	out = append(out, Figure3a(scale), Figure3b(scale))
 	for _, f := range []func(Scale) (*Report, error){
 		Table1, Table2, Table3, Table4, Acceleration, PCAStudy, KernelRobustness,
-		AblationQ, AblationS, MultiGPU, ServingThroughput, TrainingJobs, ObsOverhead,
+		AblationQ, AblationS, MultiGPU, ServingThroughput, OverloadServing,
+		TrainingJobs, ObsOverhead,
 	} {
 		r, err := f(scale)
 		if err != nil {

@@ -108,10 +108,31 @@ func newTraceID() string {
 // the oldest), and returns it. Start on a nil tracer returns nil, which
 // every Trace method tolerates.
 func (t *Tracer) Start(name string) *Trace {
+	tr := t.Prepare(name)
+	t.Commit(tr)
+	return tr
+}
+
+// Prepare creates a trace that records spans but is NOT yet retained by
+// the ring; pass it to Commit once the traced operation is known to be
+// worth keeping. The split lets an admission path avoid burning a ring
+// slot on every rejected request — rejections cluster during incidents,
+// exactly when the retained traces matter most. Prepare on a nil tracer
+// returns nil.
+func (t *Tracer) Prepare(name string) *Trace {
 	if t == nil {
 		return nil
 	}
-	tr := &Trace{id: newTraceID(), name: name, start: time.Now()}
+	return &Trace{id: newTraceID(), name: name, start: time.Now()}
+}
+
+// Commit inserts a prepared trace into the ring (possibly overwriting the
+// oldest). Committing nil, or on a nil tracer, is a no-op. A trace that is
+// never committed is simply garbage collected with its spans.
+func (t *Tracer) Commit(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
 	t.mu.Lock()
 	t.ring[t.next] = tr
 	t.next = (t.next + 1) % len(t.ring)
@@ -119,7 +140,6 @@ func (t *Tracer) Start(name string) *Trace {
 		t.n++
 	}
 	t.mu.Unlock()
-	return tr
 }
 
 // Cap returns the ring capacity (0 for a nil tracer).

@@ -185,3 +185,37 @@ func TestPprofHandler(t *testing.T) {
 		t.Fatalf("pprof index status %d", resp.StatusCode)
 	}
 }
+
+// TestPrepareCommit pins the two-phase trace lifecycle: a prepared trace
+// records spans but occupies no ring slot until committed, so traces of
+// rejected requests never evict retained ones.
+func TestPrepareCommit(t *testing.T) {
+	tr := NewTracer(4)
+	committed := tr.Start("kept")
+	committed.Span("work", time.Now(), time.Now())
+
+	for i := 0; i < 100; i++ {
+		p := tr.Prepare("rejected")
+		p.Span("rejected", time.Now(), time.Now())
+		// Never committed: must not touch the ring.
+	}
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("ring holds %d traces after 100 uncommitted prepares, want 1", got)
+	}
+	if snap := tr.Snapshot(); len(snap) != 1 || snap[0].Name != "kept" {
+		t.Fatalf("snapshot = %+v, want the committed trace only", snap)
+	}
+
+	p := tr.Prepare("late")
+	if p == nil || p.ID() == "" {
+		t.Fatal("prepared trace is unusable before commit")
+	}
+	tr.Commit(p)
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("ring holds %d traces after commit, want 2", got)
+	}
+
+	// Nil safety mirrors the rest of the package.
+	var nilT *Tracer
+	nilT.Commit(nilT.Prepare("x"))
+}

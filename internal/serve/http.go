@@ -5,12 +5,33 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
 
 	"eigenpro/internal/mat"
 	"eigenpro/internal/obs"
+)
+
+// Bounds on the serve HTTP surface, mirroring the /train hardening: both
+// endpoints decode untrusted bodies, so size must be capped before JSON or
+// gob materializes it. Variables rather than constants so tests can lower
+// them without uploading hundreds of megabytes.
+var (
+	// maxPredictBodyBytes bounds the POST /v1/predict body. A legitimate
+	// large batch (maxPredictRows MNIST-sized rows) stays well under it.
+	maxPredictBodyBytes int64 = 8 << 20
+	// maxModelBodyBytes bounds the PUT /v1/models/{name} gob body.
+	maxModelBodyBytes int64 = 256 << 20
+)
+
+const (
+	// maxPredictRows caps the rows of one predict request: each row fans
+	// out as its own goroutine through the batcher.
+	maxPredictRows = 4096
+	// maxPredictFeatures caps the per-row feature dimension.
+	maxPredictFeatures = 1 << 16
 )
 
 // NewHandler exposes a Server over HTTP JSON:
@@ -56,7 +77,16 @@ func NewHandler(s *Server) http.Handler {
 			httpError(w, http.StatusBadRequest, "model name required")
 			return
 		}
-		if err := s.LoadModel(name, r.Body); err != nil {
+		// The gob decoder may wrap the reader's error, so detect the
+		// over-limit condition with a flagging reader rather than
+		// errors.As on the decode error alone.
+		body := &limitFlagReader{r: http.MaxBytesReader(w, r.Body, maxModelBodyBytes)}
+		if err := s.LoadModel(name, body); err != nil {
+			if body.tooBig {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					"model body exceeds %d bytes", maxModelBodyBytes)
+				return
+			}
 			httpError(w, http.StatusBadRequest, "load model: %v", err)
 			return
 		}
@@ -107,7 +137,12 @@ type predictResponse struct {
 
 func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBodyBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad json: %v", err)
 		return
 	}
@@ -121,6 +156,17 @@ func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
 	if len(rows) == 0 {
 		httpError(w, http.StatusBadRequest, "empty request: provide x or xs")
 		return
+	}
+	if len(rows) > maxPredictRows {
+		httpError(w, http.StatusRequestEntityTooLarge, "%d rows exceeds the %d-row cap", len(rows), maxPredictRows)
+		return
+	}
+	for i, row := range rows {
+		if len(row) > maxPredictFeatures {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"row %d has %d features, cap is %d", i, len(row), maxPredictFeatures)
+			return
+		}
 	}
 	resp := predictResponse{
 		Model:  req.Model,
@@ -163,10 +209,28 @@ func handlePredict(s *Server, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// limitFlagReader records whether the wrapped reader (a MaxBytesReader)
+// reported its limit, surviving any error wrapping by downstream decoders.
+type limitFlagReader struct {
+	r      io.Reader
+	tooBig bool
+}
+
+func (l *limitFlagReader) Read(p []byte) (int, error) {
+	n, err := l.r.Read(p)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			l.tooBig = true
+		}
+	}
+	return n, err
+}
+
 // statusFor maps request-path errors to HTTP statuses.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShed):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrUnknownModel):
 		return http.StatusNotFound

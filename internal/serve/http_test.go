@@ -141,3 +141,71 @@ func TestHTTPErrors(t *testing.T) {
 		t.Fatalf("healthz: status %d", resp.StatusCode)
 	}
 }
+
+// TestHTTPBodyLimits pins the 413 surface: oversized or over-shaped bodies
+// on both untrusted-decode endpoints are refused before they materialize.
+func TestHTTPBodyLimits(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	post := func(body []byte) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Row-count cap: one row over maxPredictRows. The cap is checked before
+	// model lookup, so no registration is needed.
+	xs := make([][]float64, maxPredictRows+1)
+	for i := range xs {
+		xs[i] = []float64{0}
+	}
+	body, _ := json.Marshal(predictRequest{XS: xs})
+	if code := post(body); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("rows over cap: status %d, want 413", code)
+	}
+
+	// Feature-dimension cap: one feature over maxPredictFeatures.
+	body, _ = json.Marshal(predictRequest{X: make([]float64, maxPredictFeatures+1)})
+	if code := post(body); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("features over cap: status %d, want 413", code)
+	}
+
+	// Byte cap on the predict body, lowered so the test stays small.
+	defer func(v int64) { maxPredictBodyBytes = v }(maxPredictBodyBytes)
+	maxPredictBodyBytes = 64
+	body, _ = json.Marshal(predictRequest{XS: [][]float64{make([]float64, 64)}})
+	if code := post(body); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("predict body over byte cap: status %d, want 413", code)
+	}
+
+	// Byte cap on the model upload body: a valid gob just over the lowered
+	// limit must come back 413, not 400, even though gob wraps the read
+	// error.
+	defer func(v int64) { maxModelBodyBytes = v }(maxModelBodyBytes)
+	maxModelBodyBytes = 128
+	var buf bytes.Buffer
+	if err := core.SaveModel(&buf, testModel(64, 8, 4, 17)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() <= int(maxModelBodyBytes) {
+		t.Fatalf("test model gob is %d bytes, need > %d", buf.Len(), maxModelBodyBytes)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/big", bytes.NewReader(buf.Bytes()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("model body over byte cap: status %d, want 413", resp.StatusCode)
+	}
+	if got := s.Models(); len(got) != 0 {
+		t.Fatalf("oversized model was registered anyway: %v", got)
+	}
+}

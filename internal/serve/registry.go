@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"eigenpro/internal/core"
 	"eigenpro/internal/obs"
@@ -20,6 +21,33 @@ type entry struct {
 	model    atomic.Pointer[core.Model]
 	maxBatch atomic.Int64
 	queue    chan *request
+	// svcPerRowNanos is an EWMA of the wall-clock device service time per
+	// executed batch row, maintained by execute and read by deadline-aware
+	// admission (Config.Shed).
+	svcPerRowNanos atomic.Int64
+}
+
+// observeService folds one executed batch into the per-row service EWMA
+// (α = 1/4). A racing store loses one sample, which the next batch repairs.
+func (e *entry) observeService(d time.Duration, rows int) {
+	if rows <= 0 || d <= 0 {
+		return
+	}
+	per := int64(d) / int64(rows)
+	old := e.svcPerRowNanos.Load()
+	if old == 0 {
+		e.svcPerRowNanos.Store(per)
+		return
+	}
+	e.svcPerRowNanos.Store(old + (per-old)/4)
+}
+
+// estimatedWait predicts how long a newly enqueued request would sit in
+// the queue: the requests ahead of it × the EWMA per-row service time.
+// With multiple workers this over-estimates, so shedding stays
+// conservative about admitting. Zero until the first batch is measured.
+func (e *entry) estimatedWait() time.Duration {
+	return time.Duration(e.svcPerRowNanos.Load() * int64(len(e.queue)))
 }
 
 // Registry maps names to hot-swappable models. Swapping is atomic with

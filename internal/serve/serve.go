@@ -54,6 +54,11 @@ var (
 	// ErrDeadlineExceeded reports that a request expired while queued,
 	// before any device work was spent on it.
 	ErrDeadlineExceeded = errors.New("serve: deadline exceeded in queue")
+	// ErrShed reports deadline-aware admission control (Config.Shed)
+	// rejecting a request at enqueue because its deadline cannot survive
+	// the estimated queue wait — shedding doomed work before it occupies
+	// queue space.
+	ErrShed = errors.New("serve: predicted queue wait exceeds deadline, request shed")
 )
 
 // Config configures a Server; zero values select the defaults.
@@ -76,6 +81,11 @@ type Config struct {
 	// Timeout is the default per-request deadline applied when the caller's
 	// context has none. 0 selects DefaultTimeout; < 0 disables the default.
 	Timeout time.Duration
+	// Shed enables deadline-aware admission control: a request whose
+	// deadline cannot survive the estimated queue wait (queued requests ×
+	// an EWMA of recent per-row batch service time) is rejected with
+	// ErrShed at enqueue instead of queueing work that is doomed to expire.
+	Shed bool
 	// Metrics is the registry the serving telemetry registers into; nil
 	// creates a private registry (readable via Server.Metrics). Pass a
 	// shared registry to expose serving, jobs, and trainer series from one
@@ -205,8 +215,11 @@ func (s *Server) maxBatchFor(m *core.Model) int {
 
 // Predict routes one feature vector through the model's batcher and waits
 // for the micro-batch carrying it to execute. It returns the prediction row
-// (length = the model's label dimension), or ErrOverloaded / ErrUnknownModel
-// / ErrDeadlineExceeded / the context's error.
+// (length = the model's label dimension), or ErrOverloaded / ErrShed /
+// ErrUnknownModel / ErrDeadlineExceeded / the context's error. A caller
+// that returns early (context canceled, server closing) abandons its
+// request: the batcher and workers drop abandoned requests before any
+// device work is spent on them.
 func (s *Server) Predict(ctx context.Context, name string, x []float64) ([]float64, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
@@ -219,28 +232,45 @@ func (s *Server) Predict(ctx context.Context, name string, x []float64) ([]float
 		return nil, fmt.Errorf("serve: model %q wants %d features, got %d", name, m.X.Cols, len(x))
 	}
 	tr := obs.FromContext(ctx)
+	// A server-sampled trace is prepared here but committed to the ring
+	// only after successful admission: rejections cluster during overload
+	// incidents, and an empty "rejected" trace must not evict the retained
+	// traces of requests that actually ran.
+	var sampled *obs.Trace
 	if tr == nil {
-		tr = s.startTrace("predict")
+		sampled = s.prepareTrace("predict")
+		tr = sampled
 	}
-	req := &request{x: x, tr: tr, enq: time.Now(), done: make(chan struct{})}
+	req := &request{x: x, ctx: ctx, tr: tr, enq: time.Now(), done: make(chan struct{})}
 	if d, ok := ctx.Deadline(); ok {
 		req.deadline = d
 	} else if s.cfg.Timeout > 0 {
 		req.deadline = req.enq.Add(s.cfg.Timeout)
 	}
+	if s.cfg.Shed && !req.deadline.IsZero() {
+		if wait := e.estimatedWait(); wait > 0 && req.enq.Add(wait).After(req.deadline) {
+			s.stats.recordShed()
+			tr.Span("shed", req.enq, time.Now())
+			return nil, fmt.Errorf("%w (estimated wait %v)", ErrShed, wait.Round(time.Millisecond))
+		}
+	}
 	select {
 	case e.queue <- req:
+		s.cfg.Tracer.Commit(sampled)
 		tr.Span("enqueue", req.enq, time.Now())
 	default:
 		s.stats.recordRejected()
+		tr.Span("rejected", req.enq, time.Now())
 		return nil, ErrOverloaded
 	}
 	select {
 	case <-req.done:
 		return req.out, req.err
 	case <-ctx.Done():
+		req.abandon()
 		return nil, ctx.Err()
 	case <-s.done:
+		req.abandon()
 		return nil, ErrClosed
 	}
 }
@@ -263,9 +293,18 @@ func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 // Tracer returns the span ring recording sampled request traces.
 func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
 
-// startTrace starts a trace if this request is sampled (per
+// startTrace starts a retained trace if this request is sampled (per
 // Config.TraceEvery), or returns nil — safe to use as a no-op trace.
 func (s *Server) startTrace(name string) *obs.Trace {
+	tr := s.prepareTrace(name)
+	s.cfg.Tracer.Commit(tr)
+	return tr
+}
+
+// prepareTrace applies the TraceEvery sampling decision and returns a
+// prepared (not yet ring-retained) trace, or nil when unsampled. The
+// caller commits it once the request passes admission.
+func (s *Server) prepareTrace(name string) *obs.Trace {
 	n := s.cfg.TraceEvery
 	if n <= 0 {
 		return nil
@@ -273,7 +312,7 @@ func (s *Server) startTrace(name string) *obs.Trace {
 	if n > 1 && (s.traceSeq.Add(1)-1)%uint64(n) != 0 {
 		return nil
 	}
-	return s.cfg.Tracer.Start(name)
+	return s.cfg.Tracer.Prepare(name)
 }
 
 // Close stops the batchers and workers. Queued requests fail with
@@ -290,20 +329,38 @@ func (s *Server) Close() {
 	s.workWG.Wait()
 }
 
-// execute runs one coalesced micro-batch on the worker pool: drop expired
-// or mismatched requests, stack the survivors into one GEMM operand,
-// predict, charge the simulated device, and complete the waiters.
+// reap completes a request that no longer needs device work — its deadline
+// lapsed while queued, or its caller abandoned it (context canceled, server
+// closing) — and reports whether it did. Counting happens before the
+// completion: a waiter that wakes on done must already see itself in the
+// stats snapshot.
+func (s *Server) reap(r *request, now time.Time) bool {
+	switch {
+	case !r.deadline.IsZero() && now.After(r.deadline):
+		s.stats.recordExpired()
+		r.fail(ErrDeadlineExceeded)
+	case r.isAbandoned():
+		s.stats.recordAbandoned()
+		r.tr.Span("abandoned", r.enq, now)
+		r.fail(context.Canceled)
+	default:
+		return false
+	}
+	return true
+}
+
+// execute runs one coalesced micro-batch on the worker pool: drop expired,
+// abandoned, or mismatched requests, stack the survivors into one GEMM
+// operand, predict, charge the simulated device, and complete the waiters.
 func (s *Server) execute(b *batch) {
 	m := b.entry.model.Load()
 	now := time.Now()
 	live := b.reqs[:0]
 	for _, r := range b.reqs {
 		switch {
-		case !r.deadline.IsZero() && now.After(r.deadline):
-			// Count before completing: a waiter that wakes on done must
-			// already see itself in the stats snapshot.
-			s.stats.recordExpired()
-			r.fail(ErrDeadlineExceeded)
+		case s.reap(r, now):
+			// Expired or abandoned between gather and execution: no device
+			// work, no latency sample.
 		case len(r.x) != m.X.Cols:
 			// The model was hot-swapped to a different shape between
 			// enqueue and execution.
@@ -326,7 +383,16 @@ func (s *Server) execute(b *batch) {
 	// Count everything before completing any request: a waiter that wakes
 	// on done must already see itself and its batch in the stats snapshot.
 	done := time.Now()
+	b.entry.observeService(done.Sub(execStart), len(live))
 	for _, r := range live {
+		if r.isAbandoned() {
+			// Canceled while the batch was on the device: that work is
+			// already spent, but the latency quantiles must carry only
+			// delivered responses.
+			s.stats.recordAbandoned()
+			r.tr.Span("abandoned", r.enq, done)
+			continue
+		}
 		s.stats.recordDone(done.Sub(r.enq))
 		r.tr.Span("batch-wait", r.enq, execStart)
 		r.tr.Span("device-execute", execStart, done)

@@ -17,6 +17,8 @@ const (
 	MetricServeRequests   = "eigenpro_serve_requests_total"
 	MetricServeRejected   = "eigenpro_serve_rejected_total"
 	MetricServeExpired    = "eigenpro_serve_expired_total"
+	MetricServeAbandoned  = "eigenpro_serve_abandoned_total"
+	MetricServeShed       = "eigenpro_serve_shed_total"
 	MetricServeBatches    = "eigenpro_serve_batches_total"
 	MetricServeOccupancy  = "eigenpro_serve_batch_occupancy"
 	MetricServeLatency    = "eigenpro_serve_latency_seconds"
@@ -65,12 +67,14 @@ type statsCore struct {
 	start time.Time
 	clock *device.Clock
 
-	requests *obs.Counter
-	rejected *obs.Counter
-	expired  *obs.Counter
-	batches  *obs.Counter
-	occ      *obs.Histogram
-	lat      *obs.Histogram
+	requests  *obs.Counter
+	rejected  *obs.Counter
+	expired   *obs.Counter
+	abandoned *obs.Counter
+	shed      *obs.Counter
+	batches   *obs.Counter
+	occ       *obs.Histogram
+	lat       *obs.Histogram
 }
 
 func newStatsCore(dev *device.Device, reg *obs.Registry) *statsCore {
@@ -81,7 +85,11 @@ func newStatsCore(dev *device.Device, reg *obs.Registry) *statsCore {
 		requests: reg.Counter(MetricServeRequests, "Completed predictions."),
 		rejected: reg.Counter(MetricServeRejected, "Requests rejected by admission control (queue full)."),
 		expired:  reg.Counter(MetricServeExpired, "Requests that expired while queued."),
-		batches:  reg.Counter(MetricServeBatches, "Dispatched micro-batches."),
+		abandoned: reg.Counter(MetricServeAbandoned,
+			"Requests abandoned by their caller (context canceled) before delivery."),
+		shed: reg.Counter(MetricServeShed,
+			"Requests shed at enqueue because the estimated queue wait exceeded their deadline."),
+		batches: reg.Counter(MetricServeBatches, "Dispatched micro-batches."),
 		occ: reg.Histogram(MetricServeOccupancy,
 			"Requests carried per dispatched micro-batch.", occBounds),
 		lat: reg.Histogram(MetricServeLatency,
@@ -106,8 +114,10 @@ func newStatsCore(dev *device.Device, reg *obs.Registry) *statsCore {
 	return s
 }
 
-func (s *statsCore) recordRejected() { s.rejected.Inc() }
-func (s *statsCore) recordExpired()  { s.expired.Inc() }
+func (s *statsCore) recordRejected()  { s.rejected.Inc() }
+func (s *statsCore) recordExpired()   { s.expired.Inc() }
+func (s *statsCore) recordAbandoned() { s.abandoned.Inc() }
+func (s *statsCore) recordShed()      { s.shed.Inc() }
 
 // charge accounts one micro-batch's operations on the simulated device;
 // the clock is internally synchronized.
@@ -137,9 +147,12 @@ type OccupancyBucket struct {
 type Stats struct {
 	// Uptime is the time since the server started.
 	Uptime time.Duration
-	// Requests counts completed predictions; Rejected counts queue-full
-	// admissions; Expired counts requests that timed out while queued.
-	Requests, Rejected, Expired int64
+	// Requests counts delivered predictions; Rejected counts queue-full
+	// admissions; Expired counts requests that timed out while queued;
+	// Abandoned counts requests whose caller returned (context canceled,
+	// server closing) before delivery; Shed counts requests rejected by
+	// deadline-aware admission control (Config.Shed).
+	Requests, Rejected, Expired, Abandoned, Shed int64
 	// Batches counts dispatched micro-batches; MeanOccupancy is
 	// Requests-completed-or-failed-in-batch per batch.
 	Batches       int64
@@ -164,13 +177,15 @@ type Stats struct {
 // the same series) cannot stall the request path.
 func (s *statsCore) snapshot() Stats {
 	st := Stats{
-		Uptime:   time.Since(s.start),
-		Requests: int64(s.requests.Value()),
-		Rejected: int64(s.rejected.Value()),
-		Expired:  int64(s.expired.Value()),
-		Batches:  int64(s.batches.Value()),
-		SimTime:  s.clock.Elapsed(),
-		SimOps:   s.clock.Ops(),
+		Uptime:    time.Since(s.start),
+		Requests:  int64(s.requests.Value()),
+		Rejected:  int64(s.rejected.Value()),
+		Expired:   int64(s.expired.Value()),
+		Abandoned: int64(s.abandoned.Value()),
+		Shed:      int64(s.shed.Value()),
+		Batches:   int64(s.batches.Value()),
+		SimTime:   s.clock.Elapsed(),
+		SimOps:    s.clock.Ops(),
 	}
 	if occ := s.occ.Snapshot(); occ.Count > 0 {
 		st.MeanOccupancy = occ.Sum / float64(occ.Count)
@@ -220,6 +235,7 @@ func (st Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serving stats (uptime %v)\n", st.Uptime.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  requests    %-10d rejected %-8d expired %d\n", st.Requests, st.Rejected, st.Expired)
+	fmt.Fprintf(&b, "  abandoned   %-10d shed     %d\n", st.Abandoned, st.Shed)
 	fmt.Fprintf(&b, "  batches     %-10d mean occupancy %.1f\n", st.Batches, st.MeanOccupancy)
 	fmt.Fprintf(&b, "  latency     p50 %v  p99 %v\n", st.P50, st.P99)
 	fmt.Fprintf(&b, "  throughput  %.0f req/s wall, %.0f req/s simulated device (%v device time)\n",
