@@ -194,3 +194,140 @@ func TestObservabilityHTTP(t *testing.T) {
 		t.Fatal("duplicate or missing TYPE line for eigenpro_serve_requests_total")
 	}
 }
+
+// TestTraceIDTriad pins this PR's acceptance criterion end to end: the
+// trace ID echoed by one predict response is findable on all three
+// observability surfaces — as an OpenMetrics latency exemplar at
+// GET /metrics, as a span trace at GET /debug/traces?id=, and on the
+// request's wide event at GET /debug/events. It also checks the Go
+// runtime telemetry rides along on the exposition.
+func TestTraceIDTriad(t *testing.T) {
+	reg := NewMetricsRegistry()
+	tracer := NewTracer(0)
+	events := NewEventLog(0)
+	srv := NewServer(ServerConfig{Metrics: reg, Tracer: tracer, Events: events})
+	defer srv.Close()
+	mgr := NewTrainingManager(TrainingConfig{
+		Workers: 1, Registrar: srv, Metrics: reg, Tracer: tracer, Events: events,
+	})
+	defer mgr.Close()
+	ts := httptest.NewServer(NewTrainServeHandler(srv, mgr))
+	defer ts.Close()
+
+	ds := SUSYLike(240, 11)
+	res, err := Train(Config{Kernel: GaussianKernel(3), Epochs: 1, Seed: 7}, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("triad", res.Model); err != nil {
+		t.Fatal(err)
+	}
+
+	pb, _ := json.Marshal(map[string]any{"model": "triad", "x": ds.X.RowView(0)})
+	pr, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(pb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(pr.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK || pred.TraceID == "" {
+		t.Fatalf("POST /v1/predict: %d trace_id=%q", pr.StatusCode, pred.TraceID)
+	}
+
+	// Surface 1: the OpenMetrics exposition carries the trace as a latency
+	// bucket exemplar (and the plain exposition does not).
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	mr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	om := string(raw)
+	if ct := mr.Header.Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("OpenMetrics content type %q", ct)
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatal("OpenMetrics exposition missing # EOF")
+	}
+	exemplar := `# {trace_id="` + pred.TraceID + `"}`
+	if !strings.Contains(om, exemplar) {
+		t.Fatalf("exposition missing exemplar %q\n----\n%s", exemplar, om)
+	}
+	if !strings.Contains(om, "go_goroutines ") || !strings.Contains(om, "go_gc_pauses_seconds_bucket{") {
+		t.Fatal("exposition missing Go runtime telemetry")
+	}
+	plain, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawPlain, _ := io.ReadAll(plain.Body)
+	plain.Body.Close()
+	if strings.Contains(string(rawPlain), "# {") {
+		t.Fatal("plain Prometheus exposition leaked exemplar syntax")
+	}
+
+	// Surface 2: /debug/traces?id= resolves the trace; an unknown id 404s.
+	tr, err := http.Get(ts.URL + "/debug/traces?id=" + pred.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces struct {
+		Traces []struct {
+			ID string `json:"id"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK || len(traces.Traces) != 1 || traces.Traces[0].ID != pred.TraceID {
+		t.Fatalf("GET /debug/traces?id=%s: %d %+v", pred.TraceID, tr.StatusCode, traces)
+	}
+	if nf, err := http.Get(ts.URL + "/debug/traces?id=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		nf.Body.Close()
+		if nf.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown trace id: %d, want 404", nf.StatusCode)
+		}
+	}
+
+	// Surface 3: the request's wide event carries the same trace id.
+	er, err := http.Get(ts.URL + "/debug/events?model=triad&outcome=ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs struct {
+		Events  []Event `json:"events"`
+		Emitted uint64  `json:"emitted"`
+	}
+	if err := json.NewDecoder(er.Body).Decode(&evs); err != nil {
+		t.Fatal(err)
+	}
+	er.Body.Close()
+	if er.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/events: %d", er.StatusCode)
+	}
+	found := false
+	for _, ev := range evs.Events {
+		if ev.TraceID == pred.TraceID {
+			found = true
+			if ev.Kind != "serve.request" || ev.Rows != 1 || ev.BatchID == 0 || ev.Occupancy < 1 {
+				t.Fatalf("wide event malformed: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no wide event carries trace %s: %+v", pred.TraceID, evs)
+	}
+	if evs.Emitted == 0 {
+		t.Fatal("event log reports zero emitted")
+	}
+}

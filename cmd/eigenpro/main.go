@@ -22,7 +22,16 @@
 //
 //	eigenpro serve [-model model.gob] [-addr :8095] [-max-latency 2ms]
 //	               [-queue 1024] [-workers 0] [-train-workers 2]
-//	               [-dataset mnist] [-n 1000]
+//	               [-dataset mnist] [-n 1000] [-log-file events.jsonl]
+//	               [-log-every 1]
+//
+// The top subcommand is a live terminal dashboard over a running serve
+// process: it polls GET /metrics and GET /debug/events and renders
+// windowed throughput, p50/p99 latency, batch occupancy, shed rate,
+// per-model queues, per-job training progress, and recent warn/error
+// events:
+//
+//	eigenpro top [-addr localhost:8095] [-interval 1s] [-once]
 package main
 
 import (
@@ -41,6 +50,9 @@ func main() {
 			return
 		case "train":
 			runTrainJob(os.Args[2:])
+			return
+		case "top":
+			runTop(os.Args[2:])
 			return
 		}
 	}

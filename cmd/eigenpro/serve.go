@@ -26,9 +26,11 @@ func runServe(args []string) {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline")
 	shed := fs.Bool("shed", false, "deadline-aware admission: reject requests whose deadline cannot survive the estimated queue wait (429)")
-	metricsOn := fs.Bool("metrics", true, "expose GET /metrics and GET /debug/traces")
+	metricsOn := fs.Bool("metrics", true, "expose GET /metrics, GET /debug/traces, and GET /debug/events")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceEvery := fs.Int("trace-every", 1, "trace every Nth predict request (<0 disables tracing)")
+	logFile := fs.String("log-file", "", "mirror wide events as JSON lines to this file (empty: ring only; \"-\" for stderr)")
+	logEvery := fs.Int("log-every", 1, "keep 1-in-N ok events (warn/error always kept)")
 	trainWorkers := fs.Int("train-workers", 2, "training-job worker pool size")
 	trainQueue := fs.Int("train-queue", 64, "pending training-job queue depth")
 	dataset := fs.String("dataset", "mnist", "fallback training dataset when -model is empty")
@@ -38,11 +40,27 @@ func runServe(args []string) {
 	seed := fs.Int64("seed", 1, "fallback training seed")
 	fs.Parse(args)
 
-	// One registry and one trace ring shared by serving, the job manager,
-	// and (through it) the per-job trainers: a single /metrics scrape and
-	// /debug/traces read covers the whole process.
+	// One registry, one trace ring, and one wide-event log shared by
+	// serving, the job manager, and (through it) the per-job trainers: a
+	// single /metrics scrape, /debug/traces read, or /debug/events query
+	// covers the whole process.
 	reg := eigenpro.NewMetricsRegistry()
 	tracer := eigenpro.NewTracer(0)
+	events := eigenpro.NewEventLog(0)
+	events.SetSampleEvery(*logEvery)
+	switch *logFile {
+	case "":
+	case "-":
+		events.SetSink(os.Stderr, eigenpro.EventInfo)
+	default:
+		f, err := os.OpenFile(*logFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "open -log-file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		events.SetSink(f, eigenpro.EventInfo)
+	}
 	srv := eigenpro.NewServer(eigenpro.ServerConfig{
 		MaxBatch:   *maxBatch,
 		MaxLatency: *maxLatency,
@@ -53,6 +71,7 @@ func runServe(args []string) {
 		Metrics:    reg,
 		Tracer:     tracer,
 		TraceEvery: *traceEvery,
+		Events:     events,
 	})
 	defer srv.Close()
 
@@ -81,6 +100,7 @@ func runServe(args []string) {
 		Registrar:  srv,
 		Metrics:    reg,
 		Tracer:     tracer,
+		Events:     events,
 	})
 	defer mgr.Close()
 
@@ -96,6 +116,7 @@ func runServe(args []string) {
 	} else {
 		mux.HandleFunc("/metrics", http.NotFound)
 		mux.HandleFunc("/debug/traces", http.NotFound)
+		mux.HandleFunc("/debug/events", http.NotFound)
 	}
 	if *pprofOn {
 		mux.Handle("/debug/pprof/", eigenpro.PprofHandler())

@@ -1,0 +1,489 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"eigenpro"
+)
+
+// runTop implements the top subcommand: a terminal dashboard that polls a
+// serving process's GET /metrics and GET /debug/events and renders live
+// throughput, latency quantiles, batch occupancy, shed rate, queue depths
+// per model, per-job training progress, and the most recent warn/error
+// events. Rates and quantiles are computed over the polling window (two
+// consecutive scrapes), not since process start, so the display tracks
+// what the server is doing now.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8095", "host:port (or full URL) of the eigenpro server")
+	interval := fs.Duration("interval", time.Second, "polling interval")
+	once := fs.Bool("once", false, "render one snapshot (two polls, one interval apart) and exit")
+	showEvents := fs.Int("events", 4, "recent warn/error events to show")
+	fs.Parse(args)
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	prev, err := pollServer(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "top: %v\n", err)
+		os.Exit(1)
+	}
+	for {
+		time.Sleep(*interval)
+		cur, err := pollServer(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "top: %v\n", err)
+			os.Exit(1)
+		}
+		out := renderDashboard(deriveDashboard(prev, cur, *showEvents))
+		if *once {
+			fmt.Print(out)
+			return
+		}
+		// Clear the terminal and repaint in place.
+		fmt.Print("\033[2J\033[H" + out)
+		prev = cur
+	}
+}
+
+// poll is one scrape of the server: the metric samples and the newest
+// events, timestamped.
+type poll struct {
+	at       time.Time
+	samples  []sample
+	events   []eigenpro.Event
+	emitted  uint64
+	dropped  uint64
+	hasEvent bool
+}
+
+// pollServer fetches /metrics and /debug/events. A failing events
+// endpoint (disabled logging, older server) degrades to metrics-only.
+func pollServer(client *http.Client, base string) (poll, error) {
+	p := poll{at: time.Now()}
+	body, err := fetch(client, base+"/metrics")
+	if err != nil {
+		return p, err
+	}
+	p.samples = parseExposition(string(body))
+	if body, err := fetch(client, base+"/debug/events?limit=512"); err == nil {
+		var payload struct {
+			Events  []eigenpro.Event `json:"events"`
+			Emitted uint64           `json:"emitted"`
+			Dropped uint64           `json:"dropped"`
+		}
+		if json.Unmarshal(body, &payload) == nil {
+			p.events = payload.Events
+			p.emitted = payload.Emitted
+			p.dropped = payload.Dropped
+			p.hasEvent = true
+		}
+	}
+	return p, nil
+}
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+}
+
+// sample is one parsed exposition line: name{labels} value.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition parses Prometheus text exposition into samples,
+// skipping comments and malformed lines.
+func parseExposition(text string) []sample {
+	var out []sample
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if s, ok := parseSampleLine(line); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// parseSampleLine parses one `name{k="v",...} value` line; the label
+// block is optional and values may contain escaped quotes.
+func parseSampleLine(line string) (sample, bool) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return sample{}, false
+	}
+	s := sample{name: line[:i]}
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, after, ok := parseLabelBlock(rest)
+		if !ok {
+			return sample{}, false
+		}
+		s.labels, rest = labels, after
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return sample{}, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return sample{}, false
+	}
+	s.value = v
+	return s, true
+}
+
+// parseLabelBlock parses a `{k="v",...}` prefix, handling \" escapes in
+// values, and returns the labels and the remainder after the block.
+func parseLabelBlock(rest string) (map[string]string, string, bool) {
+	labels := map[string]string{}
+	j := 1
+	for j < len(rest) && rest[j] != '}' {
+		eq := strings.IndexByte(rest[j:], '=')
+		if eq < 0 || j+eq+1 >= len(rest) || rest[j+eq+1] != '"' {
+			return nil, "", false
+		}
+		key := rest[j : j+eq]
+		j += eq + 2 // past ="
+		var val strings.Builder
+		for j < len(rest) && rest[j] != '"' {
+			if rest[j] == '\\' && j+1 < len(rest) {
+				j++
+				switch rest[j] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[j])
+				}
+			} else {
+				val.WriteByte(rest[j])
+			}
+			j++
+		}
+		if j >= len(rest) {
+			return nil, "", false
+		}
+		labels[key] = val.String()
+		j++ // closing quote
+		if j < len(rest) && rest[j] == ',' {
+			j++
+		}
+	}
+	if j >= len(rest) {
+		return nil, "", false
+	}
+	return labels, rest[j+1:], true
+}
+
+// metricValue sums the samples of name whose labels include want.
+func metricValue(ss []sample, name string, want map[string]string) float64 {
+	var total float64
+	for _, s := range ss {
+		if s.name != name || !labelsMatch(s.labels, want) {
+			continue
+		}
+		total += s.value
+	}
+	return total
+}
+
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// labelValues collects the distinct values of one label across samples of
+// name, sorted.
+func labelValues(ss []sample, name, label string) []string {
+	seen := map[string]bool{}
+	for _, s := range ss {
+		if s.name == name {
+			if v, ok := s.labels[label]; ok && !seen[v] {
+				seen[v] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cumHist is a cumulative-bucket histogram reassembled from _bucket
+// samples (le ascending, +Inf last).
+type cumHist struct {
+	les  []float64
+	cums []float64
+}
+
+// histFromSamples collects name_bucket samples into a cumHist.
+func histFromSamples(ss []sample, name string) cumHist {
+	type b struct{ le, cum float64 }
+	var bs []b
+	for _, s := range ss {
+		if s.name != name+"_bucket" {
+			continue
+		}
+		le, err := parseLe(s.labels["le"])
+		if err != nil {
+			continue
+		}
+		bs = append(bs, b{le, s.value})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	h := cumHist{}
+	for _, x := range bs {
+		h.les = append(h.les, x.le)
+		h.cums = append(h.cums, x.cum)
+	}
+	return h
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return inf, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+var inf = func() float64 { v, _ := strconv.ParseFloat("+Inf", 64); return v }()
+
+// sub returns the windowed histogram cur − prev (bucket-wise). Mismatched
+// shapes fall back to cur (first poll, or a restarted server).
+func (h cumHist) sub(prev cumHist) cumHist {
+	if len(prev.cums) != len(h.cums) {
+		return h
+	}
+	out := cumHist{les: h.les, cums: make([]float64, len(h.cums))}
+	for i := range h.cums {
+		d := h.cums[i] - prev.cums[i]
+		if d < 0 {
+			return h
+		}
+		out.cums[i] = d
+	}
+	return out
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile
+// observation (the largest finite bound for the overflow bucket; 0 when
+// empty).
+func (h cumHist) quantile(q float64) float64 {
+	n := len(h.cums)
+	if n == 0 || h.cums[n-1] == 0 {
+		return 0
+	}
+	rank := q * h.cums[n-1]
+	for i, c := range h.cums {
+		if c >= rank {
+			if h.les[i] == inf {
+				break
+			}
+			return h.les[i]
+		}
+	}
+	// Overflow: saturate at the largest finite bound.
+	for i := n - 1; i >= 0; i-- {
+		if h.les[i] != inf {
+			return h.les[i]
+		}
+	}
+	return 0
+}
+
+// modelRow is one serving model's line of the dashboard.
+type modelRow struct {
+	name       string
+	queueDepth float64
+	okPerSec   float64 // from ok events in the window (sampled: a floor)
+}
+
+// jobRow is one training job's line.
+type jobRow struct {
+	id         string
+	epoch, mse float64
+	state      string
+}
+
+// dashboard is the derived, render-ready view of two polls.
+type dashboard struct {
+	window   time.Duration
+	reqRate  float64
+	p50, p99 time.Duration
+	occMean  float64
+	shedRate float64 // shed+rejected / offered over the window
+	devUtil  float64
+	models   []modelRow
+	jobs     []jobRow
+
+	goroutines float64
+	heapBytes  float64
+
+	hasEvents                    bool
+	eventsEmitted, eventsDropped uint64
+	recent                       []eigenpro.Event
+}
+
+// deriveDashboard computes windowed rates and quantiles from two polls.
+func deriveDashboard(prev, cur poll, showEvents int) dashboard {
+	dt := cur.at.Sub(prev.at)
+	if dt <= 0 {
+		dt = time.Second
+	}
+	d := dashboard{window: dt}
+
+	delta := func(name string) float64 {
+		return metricValue(cur.samples, name, nil) - metricValue(prev.samples, name, nil)
+	}
+	req := delta("eigenpro_serve_requests_total")
+	shed := delta("eigenpro_serve_shed_total") + delta("eigenpro_serve_rejected_total")
+	d.reqRate = req / dt.Seconds()
+	if offered := req + shed; offered > 0 {
+		d.shedRate = shed / offered
+	}
+	lat := histFromSamples(cur.samples, "eigenpro_serve_latency_seconds").
+		sub(histFromSamples(prev.samples, "eigenpro_serve_latency_seconds"))
+	d.p50 = time.Duration(lat.quantile(0.50) * float64(time.Second))
+	d.p99 = time.Duration(lat.quantile(0.99) * float64(time.Second))
+	if batches := delta("eigenpro_serve_batches_total"); batches > 0 {
+		d.occMean = req / batches
+	}
+	d.devUtil = metricValue(cur.samples, "eigenpro_serve_device_utilization", nil)
+	d.goroutines = metricValue(cur.samples, "go_goroutines", nil)
+	d.heapBytes = metricValue(cur.samples, "go_heap_objects_bytes", nil)
+
+	okCount := map[string]float64{}
+	for _, ev := range cur.events {
+		if ev.Kind == "serve.request" && ev.Outcome == "ok" && ev.Time.After(prev.at) {
+			okCount[ev.Model]++
+		}
+	}
+	for _, name := range labelValues(cur.samples, "eigenpro_serve_queue_depth", "model") {
+		d.models = append(d.models, modelRow{
+			name:       name,
+			queueDepth: metricValue(cur.samples, "eigenpro_serve_queue_depth", map[string]string{"model": name}),
+			okPerSec:   okCount[name] / dt.Seconds(),
+		})
+	}
+
+	jobState := map[string]string{}
+	for _, ev := range cur.events {
+		if ev.Kind == "job.state" {
+			if _, seen := jobState[ev.Job]; !seen { // events are newest first
+				jobState[ev.Job] = ev.Outcome
+			}
+		}
+	}
+	for _, id := range labelValues(cur.samples, "eigenpro_train_epoch", "job") {
+		d.jobs = append(d.jobs, jobRow{
+			id:    id,
+			epoch: metricValue(cur.samples, "eigenpro_train_epoch", map[string]string{"job": id}),
+			mse:   metricValue(cur.samples, "eigenpro_train_mse", map[string]string{"job": id}),
+			state: jobState[id],
+		})
+	}
+
+	for _, ev := range cur.events {
+		if ev.Level == eigenpro.EventInfo || len(d.recent) >= showEvents {
+			continue
+		}
+		d.recent = append(d.recent, ev)
+	}
+	d.hasEvents = cur.hasEvent
+	d.eventsEmitted = cur.emitted
+	d.eventsDropped = cur.dropped
+	return d
+}
+
+// renderDashboard formats the derived view as an aligned text screen.
+func renderDashboard(d dashboard) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "eigenpro top — %v window\n\n", d.window.Round(time.Millisecond))
+	fmt.Fprintf(&b, "serving   %8.1f req/s   p50 %-10v p99 %-10v occupancy %.1f\n",
+		d.reqRate, d.p50.Round(time.Microsecond), d.p99.Round(time.Microsecond), d.occMean)
+	fmt.Fprintf(&b, "          shed+rejected %.1f%%   device util %.0f%%\n",
+		100*d.shedRate, 100*d.devUtil)
+	fmt.Fprintf(&b, "runtime   %.0f goroutines, %s heap objects\n", d.goroutines, fmtBytes(d.heapBytes))
+	if d.hasEvents {
+		fmt.Fprintf(&b, "events    %d emitted, %d sampled out\n", d.eventsEmitted, d.eventsDropped)
+	}
+	b.WriteString("\n")
+	if len(d.models) > 0 {
+		b.WriteString("  model                queue   ok ev/s\n")
+		for _, m := range d.models {
+			fmt.Fprintf(&b, "  %-20s %5.0f   %7.1f\n", m.name, m.queueDepth, m.okPerSec)
+		}
+		b.WriteString("\n")
+	}
+	if len(d.jobs) > 0 {
+		b.WriteString("  job                  epoch   train mse    state\n")
+		for _, j := range d.jobs {
+			fmt.Fprintf(&b, "  %-20s %5.0f   %9.3g    %s\n", j.id, j.epoch, j.mse, j.state)
+		}
+		b.WriteString("\n")
+	}
+	if len(d.recent) > 0 {
+		b.WriteString("  recent warn/error events:\n")
+		for _, ev := range d.recent {
+			what := ev.Outcome
+			if ev.Err != "" {
+				what += ": " + ev.Err
+			}
+			fmt.Fprintf(&b, "  %s %-6s %-14s %s%s\n",
+				ev.Time.Format("15:04:05"), ev.Level, ev.Kind, subject(ev), " "+what)
+		}
+	}
+	return b.String()
+}
+
+// subject names what an event is about: its model or job.
+func subject(ev eigenpro.Event) string {
+	if ev.Model != "" {
+		return ev.Model
+	}
+	return ev.Job
+}
+
+// fmtBytes renders a byte count humanly.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
+}

@@ -1,0 +1,320 @@
+package main
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eigenpro"
+)
+
+func TestPollServer(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("go_goroutines 9\neigenpro_serve_requests_total 42\n"))
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("limit") != "512" {
+			t.Errorf("events poll limit = %q, want 512", r.URL.Query().Get("limit"))
+		}
+		w.Write([]byte(`{"events":[{"kind":"serve.request","outcome":"ok"}],"emitted":7,"dropped":2}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	p, err := pollServer(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(p.samples, "eigenpro_serve_requests_total", nil); got != 42 {
+		t.Fatalf("requests = %v, want 42", got)
+	}
+	if !p.hasEvent || len(p.events) != 1 || p.emitted != 7 || p.dropped != 2 {
+		t.Fatalf("events poll = %+v", p)
+	}
+
+	// A server without /debug/events (disabled logging) degrades to
+	// metrics-only rather than failing the poll.
+	bare := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("go_goroutines 3\n"))
+	}))
+	defer bare.Close()
+	p, err = pollServer(bare.Client(), bare.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.hasEvent {
+		t.Fatal("poll claims events from a server without /debug/events")
+	}
+	if len(p.samples) != 1 {
+		t.Fatalf("samples = %+v", p.samples)
+	}
+
+	// A failing /metrics fails the poll outright.
+	if _, err := pollServer(bare.Client(), bare.URL+"/nope"); err == nil {
+		t.Fatal("poll of a dead metrics endpoint did not error")
+	}
+}
+
+func TestParseSampleLine(t *testing.T) {
+	cases := []struct {
+		line   string
+		ok     bool
+		name   string
+		labels map[string]string
+		value  float64
+	}{
+		{"go_goroutines 12", true, "go_goroutines", nil, 12},
+		{`eigenpro_serve_queue_depth{model="default"} 3`, true,
+			"eigenpro_serve_queue_depth", map[string]string{"model": "default"}, 3},
+		{`h_bucket{le="+Inf",model="m"} 7`, true,
+			"h_bucket", map[string]string{"le": "+Inf", "model": "m"}, 7},
+		{`weird{k="a\"b,c\nd"} 1`, true, "weird", map[string]string{"k": "a\"b,c\nd"}, 1},
+		{"lat_sum 0.125", true, "lat_sum", nil, 0.125},
+		{"# HELP foo bar", false, "", nil, 0},
+		{"", false, "", nil, 0},
+		{"noval{", false, "", nil, 0},
+		{"name notanumber", false, "", nil, 0},
+	}
+	for _, c := range cases {
+		s, ok := parseSampleLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseSampleLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if s.name != c.name || s.value != c.value {
+			t.Errorf("parseSampleLine(%q) = %+v", c.line, s)
+		}
+		for k, v := range c.labels {
+			if s.labels[k] != v {
+				t.Errorf("parseSampleLine(%q) label %s = %q, want %q", c.line, k, s.labels[k], v)
+			}
+		}
+	}
+}
+
+func TestParseExposition(t *testing.T) {
+	text := `# HELP eigenpro_serve_requests_total Requests.
+# TYPE eigenpro_serve_requests_total counter
+eigenpro_serve_requests_total 40
+eigenpro_serve_queue_depth{model="a"} 2
+eigenpro_serve_queue_depth{model="b"} 5
+
+garbage line without a value x
+# EOF
+`
+	ss := parseExposition(text)
+	if len(ss) != 3 {
+		t.Fatalf("parsed %d samples, want 3: %+v", len(ss), ss)
+	}
+	if got := metricValue(ss, "eigenpro_serve_queue_depth", nil); got != 7 {
+		t.Fatalf("summed queue depth = %v, want 7", got)
+	}
+	if got := metricValue(ss, "eigenpro_serve_queue_depth", map[string]string{"model": "b"}); got != 5 {
+		t.Fatalf("model=b queue depth = %v, want 5", got)
+	}
+	if got := labelValues(ss, "eigenpro_serve_queue_depth", "model"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("labelValues = %v", got)
+	}
+}
+
+func TestCumHistSubAndQuantile(t *testing.T) {
+	mk := func(lines string) cumHist {
+		return histFromSamples(parseExposition(lines), "lat")
+	}
+	prev := mk(`lat_bucket{le="0.001"} 10
+lat_bucket{le="0.01"} 20
+lat_bucket{le="+Inf"} 20
+`)
+	cur := mk(`lat_bucket{le="0.001"} 10
+lat_bucket{le="0.01"} 60
+lat_bucket{le="+Inf"} 70
+`)
+	win := cur.sub(prev)
+	// Window: 0 in ≤1ms, 40 in ≤10ms, 10 overflow.
+	if win.cums[0] != 0 || win.cums[1] != 40 || win.cums[2] != 50 {
+		t.Fatalf("windowed cums = %v", win.cums)
+	}
+	if got := win.quantile(0.50); got != 0.01 {
+		t.Fatalf("p50 = %v, want 0.01", got)
+	}
+	// p99 rank (49.5) lands in the overflow bucket: saturate at the largest
+	// finite bound rather than reporting +Inf.
+	if got := win.quantile(0.99); got != 0.01 {
+		t.Fatalf("p99 = %v, want saturation at 0.01", got)
+	}
+
+	// Shape mismatch (restarted server) falls back to cur.
+	if got := cur.sub(cumHist{}); len(got.cums) != 3 || got.cums[2] != 70 {
+		t.Fatalf("shape-mismatch sub = %+v", got)
+	}
+	// Counter reset (negative delta) falls back to cur.
+	if got := prev.sub(cur); got.cums[1] != 20 {
+		t.Fatalf("reset sub = %+v", got)
+	}
+	// Empty histogram quantile is 0.
+	if got := (cumHist{}).quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	if math.IsInf(win.quantile(1), 1) {
+		t.Fatal("quantile returned +Inf")
+	}
+}
+
+func topPoll(at time.Time, exposition string, events []eigenpro.Event) poll {
+	return poll{
+		at:       at,
+		samples:  parseExposition(exposition),
+		events:   events,
+		emitted:  uint64(len(events)),
+		dropped:  3,
+		hasEvent: true,
+	}
+}
+
+func TestDeriveDashboard(t *testing.T) {
+	t0 := time.Now()
+	prevExp := `eigenpro_serve_requests_total 100
+eigenpro_serve_shed_total 0
+eigenpro_serve_rejected_total 0
+eigenpro_serve_batches_total 50
+eigenpro_serve_latency_seconds_bucket{le="0.001"} 50
+eigenpro_serve_latency_seconds_bucket{le="0.01"} 100
+eigenpro_serve_latency_seconds_bucket{le="+Inf"} 100
+`
+	curExp := `eigenpro_serve_requests_total 300
+eigenpro_serve_shed_total 40
+eigenpro_serve_rejected_total 10
+eigenpro_serve_batches_total 150
+eigenpro_serve_latency_seconds_bucket{le="0.001"} 150
+eigenpro_serve_latency_seconds_bucket{le="0.01"} 300
+eigenpro_serve_latency_seconds_bucket{le="+Inf"} 300
+eigenpro_serve_queue_depth{model="default"} 4
+eigenpro_serve_device_utilization 0.8
+eigenpro_train_epoch{job="j1"} 7
+eigenpro_train_mse{job="j1"} 0.125
+go_goroutines 23
+go_heap_objects_bytes 1048576
+`
+	events := []eigenpro.Event{
+		{Time: t0.Add(1900 * time.Millisecond), Kind: "job.state", Job: "j1", Outcome: "running"},
+		{Time: t0.Add(1800 * time.Millisecond), Kind: "serve.request", Model: "default", Outcome: "shed",
+			Level: eigenpro.EventWarn},
+		{Time: t0.Add(1500 * time.Millisecond), Kind: "serve.request", Model: "default", Outcome: "ok"},
+		{Time: t0.Add(1200 * time.Millisecond), Kind: "serve.request", Model: "default", Outcome: "ok"},
+		{Time: t0.Add(-time.Second), Kind: "serve.request", Model: "default", Outcome: "ok"}, // before window
+		{Time: t0.Add(-2 * time.Second), Kind: "job.state", Job: "j1", Outcome: "queued"},
+	}
+	d := deriveDashboard(
+		topPoll(t0, prevExp, nil),
+		topPoll(t0.Add(2*time.Second), curExp, events),
+		4)
+
+	if d.window != 2*time.Second {
+		t.Fatalf("window = %v", d.window)
+	}
+	if d.reqRate != 100 { // 200 requests / 2s
+		t.Fatalf("reqRate = %v, want 100", d.reqRate)
+	}
+	if math.Abs(d.shedRate-0.2) > 1e-9 { // 50 shed+rejected of 250 offered
+		t.Fatalf("shedRate = %v, want 0.2", d.shedRate)
+	}
+	if d.p50 != time.Millisecond { // window: 100 ≤1ms, 100 in (1ms,10ms]
+		t.Fatalf("p50 = %v, want 1ms", d.p50)
+	}
+	if d.p99 != 10*time.Millisecond {
+		t.Fatalf("p99 = %v, want 10ms", d.p99)
+	}
+	if d.occMean != 2 { // 200 requests / 100 batches
+		t.Fatalf("occMean = %v, want 2", d.occMean)
+	}
+	if d.devUtil != 0.8 || d.goroutines != 23 || d.heapBytes != 1048576 {
+		t.Fatalf("gauges: %+v", d)
+	}
+	if len(d.models) != 1 || d.models[0].name != "default" || d.models[0].queueDepth != 4 {
+		t.Fatalf("models = %+v", d.models)
+	}
+	if got := d.models[0].okPerSec; got != 1 { // 2 ok events in window / 2s
+		t.Fatalf("okPerSec = %v, want 1", got)
+	}
+	if len(d.jobs) != 1 || d.jobs[0].id != "j1" || d.jobs[0].epoch != 7 ||
+		d.jobs[0].mse != 0.125 || d.jobs[0].state != "running" {
+		t.Fatalf("jobs = %+v", d.jobs)
+	}
+	if len(d.recent) != 1 || d.recent[0].Outcome != "shed" {
+		t.Fatalf("recent = %+v", d.recent)
+	}
+	if !d.hasEvents || d.eventsDropped != 3 {
+		t.Fatalf("event counters: %+v", d)
+	}
+}
+
+func TestRenderDashboard(t *testing.T) {
+	d := dashboard{
+		window:     time.Second,
+		reqRate:    123.4,
+		p50:        800 * time.Microsecond,
+		p99:        9 * time.Millisecond,
+		occMean:    2.5,
+		shedRate:   0.05,
+		devUtil:    0.75,
+		goroutines: 17,
+		heapBytes:  3 << 20,
+		models:     []modelRow{{name: "default", queueDepth: 4, okPerSec: 120}},
+		jobs:       []jobRow{{id: "j1", epoch: 7, mse: 0.125, state: "running"}},
+		hasEvents:  true, eventsEmitted: 500, eventsDropped: 900,
+		recent: []eigenpro.Event{{
+			Time: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+			Kind: "serve.request", Model: "default", Outcome: "expired",
+			Level: eigenpro.EventWarn,
+		}},
+	}
+	out := renderDashboard(d)
+	for _, want := range []string{
+		"eigenpro top", "123.4 req/s", "p50 800µs", "p99 9ms", "occupancy 2.5",
+		"shed+rejected 5.0%", "device util 75%",
+		"17 goroutines", "3.0 MiB heap objects",
+		"500 emitted, 900 sampled out",
+		"default", "running", "j1", "expired",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered dashboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KiB"},
+		{3 << 20, "3.0 MiB"},
+		{5 << 30, "5.0 GiB"},
+	}
+	for _, c := range cases {
+		if got := fmtBytes(c.v); got != c.want {
+			t.Errorf("fmtBytes(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSubject(t *testing.T) {
+	if got := subject(eigenpro.Event{Model: "m"}); got != "m" {
+		t.Fatalf("subject model = %q", got)
+	}
+	if got := subject(eigenpro.Event{Job: "j"}); got != "j" {
+		t.Fatalf("subject job = %q", got)
+	}
+}

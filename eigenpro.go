@@ -245,6 +245,30 @@ type MetricsRegistry = obs.Registry
 // Tracer is a bounded in-memory ring of per-request span traces.
 type Tracer = obs.Tracer
 
+// EventLog is a lock-free bounded ring of wide events: one structured
+// record per served request, training epoch, and job state transition,
+// with leveled severity, head+tail sampling (errors always kept, ok
+// outcomes 1-in-N), and an optional JSON-lines sink. Pass one log as both
+// ServerConfig.Events and TrainingConfig.Events to read the whole
+// system's history from a single /debug/events endpoint.
+type EventLog = obs.EventLog
+
+// Event is one wide event record; see EventLog.
+type Event = obs.Event
+
+// EventQuery filters EventLog.Query (zero fields match everything).
+type EventQuery = obs.EventQuery
+
+// Event severity levels.
+type EventLevel = obs.Level
+
+// Event severities.
+const (
+	EventInfo  = obs.LevelInfo
+	EventWarn  = obs.LevelWarn
+	EventError = obs.LevelError
+)
+
 // MetricLabel is one name=value metric dimension.
 type MetricLabel = obs.Label
 
@@ -258,12 +282,37 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // (<= 0 selects a default capacity).
 func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 
-// MetricsHandler serves the registries in Prometheus text exposition
-// format (duplicate registries are exposed once).
+// NewEventLog returns an event log retaining the newest capacity events
+// (<= 0 selects a default capacity of 4096).
+func NewEventLog(capacity int) *EventLog { return obs.NewEventLog(capacity) }
+
+// MetricsHandler serves the registries (plus Go runtime telemetry) with
+// content negotiation: Prometheus text by default, OpenMetrics with
+// histogram exemplars under Accept: application/openmetrics-text.
+// Duplicate registries are exposed once.
 func MetricsHandler(regs ...*MetricsRegistry) http.Handler { return obs.MetricsHandler(regs...) }
 
-// TracesHandler serves the tracers' recent span traces as JSON.
+// TracesHandler serves the tracers' recent span traces as JSON
+// (?id= for one trace, ?limit= to bound the response).
 func TracesHandler(tracers ...*Tracer) http.Handler { return obs.TracesHandler(tracers...) }
+
+// EventsHandler serves the logs' recent wide events as JSON, filtered by
+// ?kind=&model=&outcome=&job=&level=&since=&limit=.
+func EventsHandler(logs ...*EventLog) http.Handler { return obs.EventsHandler(logs...) }
+
+// RegisterRuntimeMetrics registers Go runtime telemetry (goroutines,
+// heap, GC pauses, scheduler latency) into reg. MetricsHandler already
+// exposes these from a process-wide registry; use this only to place the
+// go_* series in a registry of your own.
+func RegisterRuntimeMetrics(reg *MetricsRegistry) { obs.RegisterRuntimeMetrics(reg) }
+
+// LogTraining returns a Config.OnEpoch hook that emits one wide
+// train.epoch event per completed epoch into log, labeled with the given
+// job or run name. The training manager installs this automatically for
+// its jobs; use it directly to log a standalone Train run.
+func LogTraining(log *EventLog, job string) func(EpochStats) {
+	return core.LogTraining(log, job, core.EpochStats{})
+}
 
 // PprofHandler serves the net/http/pprof profiling endpoints under
 // /debug/pprof/ — mount it explicitly (it is never wired in by default).
@@ -342,9 +391,11 @@ func JobStatus(m *TrainingManager, id string) (TrainingJob, bool) { return m.Job
 // exposition when they share a registry), so a single scrape covers
 // request rates, rejection/expiry counts, micro-batch occupancy,
 // device-clock utilization, queue depths, per-job epoch progress, and the
-// train-MSE trajectory. GET /debug/traces merges both span rings, and
-// GET /readyz reports ready once a model is servable or the manager is
-// accepting jobs.
+// train-MSE trajectory; runtime telemetry (go_*) rides along, and an
+// Accept: application/openmetrics-text header selects OpenMetrics with
+// latency exemplars. GET /debug/traces merges both span rings,
+// GET /debug/events merges both wide-event logs, and GET /readyz reports
+// ready once a model is servable or the manager is accepting jobs.
 func NewTrainServeHandler(s *Server, m *TrainingManager) http.Handler {
 	mux := http.NewServeMux()
 	jh := jobs.NewHandler(m)
@@ -353,6 +404,7 @@ func NewTrainServeHandler(s *Server, m *TrainingManager) http.Handler {
 	mux.Handle("/jobs/", jh)
 	mux.Handle("/metrics", obs.MetricsHandler(s.Metrics(), m.Metrics()))
 	mux.Handle("/debug/traces", obs.TracesHandler(s.Tracer(), m.Tracer()))
+	mux.Handle("/debug/events", obs.EventsHandler(s.Events(), m.Events()))
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if len(s.Models()) == 0 && !m.Accepting() {
 			w.WriteHeader(http.StatusServiceUnavailable)

@@ -1,7 +1,8 @@
 // Observability: wire serving, the training-job manager, and the per-job
-// trainers onto ONE metrics registry and ONE trace ring, then read the
-// whole process back through the unified endpoints — a Prometheus text
-// exposition at /metrics and per-request span traces at /debug/traces.
+// trainers onto ONE metrics registry, ONE trace ring, and ONE wide-event
+// log, then read the whole process back through the unified endpoints —
+// a Prometheus/OpenMetrics exposition at /metrics, per-request span
+// traces at /debug/traces, and structured wide events at /debug/events.
 //
 // The walkthrough drives the full train → serve loop over HTTP (the same
 // combined handler `eigenpro serve` mounts), then prints:
@@ -11,8 +12,12 @@
 //     response echoed back;
 //   - the trace of the training job (submit → queue → epoch[k] →
 //     register);
-//   - a trimmed /metrics scrape showing serving, jobs, and trainer
-//     series side by side in one exposition.
+//   - the same trace ID resolved on the other two surfaces: the
+//     OpenMetrics latency-bucket exemplar and the request's wide event;
+//   - the wide-event history of the training job (every state
+//     transition plus one train.epoch record per epoch);
+//   - a trimmed /metrics scrape showing serving, jobs, trainer, and Go
+//     runtime series side by side in one exposition.
 package main
 
 import (
@@ -30,16 +35,23 @@ import (
 )
 
 func main() {
-	// One registry and one trace ring for the whole process. Passing the
-	// same pair to both configs is the entire integration story: serving
-	// counters, job-state gauges, and per-epoch training telemetry all
-	// land in the same exposition.
+	// One registry, one trace ring, and one wide-event log for the whole
+	// process. Passing the same trio to both configs is the entire
+	// integration story: serving counters, job-state gauges, per-epoch
+	// training telemetry, and every wide event all land on the same
+	// endpoints.
 	reg := eigenpro.NewMetricsRegistry()
-	tracer := eigenpro.NewTracer(0) // 0 = default ring capacity
+	tracer := eigenpro.NewTracer(0)   // 0 = default ring capacity
+	events := eigenpro.NewEventLog(0) // 0 = default 4096-event ring
+	// In production, sample steady-state ok events (errors, sheds, and
+	// expiries are always kept) and mirror to a JSON-lines sink:
+	//   events.SetSampleEvery(10)
+	//   events.SetSink(os.Stderr, eigenpro.EventWarn)
 
 	srv := eigenpro.NewServer(eigenpro.ServerConfig{
 		Metrics: reg,
 		Tracer:  tracer,
+		Events:  events,
 	})
 	defer srv.Close()
 	mgr := eigenpro.NewTrainingManager(eigenpro.TrainingConfig{
@@ -47,6 +59,7 @@ func main() {
 		Registrar: srv, // finished jobs auto-register on the server
 		Metrics:   reg,
 		Tracer:    tracer,
+		Events:    events,
 	})
 	defer mgr.Close()
 
@@ -124,9 +137,80 @@ func main() {
 		}
 	}
 
-	// One /metrics scrape covers all three subsystems. Print the series
-	// this walkthrough touched (a real deployment points Prometheus at
-	// the endpoint instead).
+	// The same trace ID resolves on the other two surfaces. Surface two:
+	// the OpenMetrics exposition (content-negotiated via Accept) attaches
+	// it to the latency bucket the request landed in as an exemplar.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	omr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	omRaw, err := io.ReadAll(omr.Body)
+	omr.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlatency-bucket exemplar carrying the predict trace id:")
+	for _, line := range strings.Split(string(omRaw), "\n") {
+		if strings.Contains(line, `trace_id="`+pred.TraceID+`"`) {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// Surface three: the request's wide event at /debug/events, filtered
+	// the way an incident query would be.
+	er, err := http.Get(ts.URL + "/debug/events?kind=serve.request&model=susy&outcome=ok")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var evPayload struct {
+		Events  []eigenpro.Event `json:"events"`
+		Emitted uint64           `json:"emitted"`
+		Dropped uint64           `json:"dropped"`
+	}
+	if err := json.NewDecoder(er.Body).Decode(&evPayload); err != nil {
+		log.Fatal(err)
+	}
+	er.Body.Close()
+	for _, ev := range evPayload.Events {
+		if ev.TraceID != pred.TraceID {
+			continue
+		}
+		fmt.Printf("\nwide event for trace %s:\n", ev.TraceID)
+		fmt.Printf("  batch %d (occupancy %d), queue wait %v, device time %v\n",
+			ev.BatchID, ev.Occupancy, ev.QueueWait.Round(time.Microsecond),
+			ev.DeviceTime.Round(time.Microsecond))
+	}
+
+	// The training job left a wide-event history too: one job.state
+	// record per lifecycle transition and one train.epoch per epoch.
+	fmt.Printf("\njob %s event history (newest first, %d kept / %d sampled out):\n",
+		job.ID, evPayload.Emitted, evPayload.Dropped)
+	jr, err := http.Get(ts.URL + "/debug/events?job=" + job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var jobEvents struct {
+		Events []eigenpro.Event `json:"events"`
+	}
+	if err := json.NewDecoder(jr.Body).Decode(&jobEvents); err != nil {
+		log.Fatal(err)
+	}
+	jr.Body.Close()
+	for _, ev := range jobEvents.Events {
+		switch ev.Kind {
+		case "train.epoch":
+			fmt.Printf("  train.epoch  epoch %d  mse %.3g  wall %v\n",
+				ev.Epoch, ev.MSE, ev.Wall.Round(time.Microsecond))
+		case "job.state":
+			fmt.Printf("  job.state    -> %s\n", ev.Outcome)
+		}
+	}
+
+	// One /metrics scrape covers all three subsystems plus the Go
+	// runtime. Print the series this walkthrough touched (a real
+	// deployment points Prometheus at the endpoint instead).
 	mr, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -149,6 +233,8 @@ func main() {
 			"eigenpro_jobs_state",
 			"eigenpro_train_epochs_total",
 			"eigenpro_train_mse",
+			"go_goroutines",
+			"go_gc_cycles_total",
 		} {
 			if strings.HasPrefix(line, prefix) {
 				fmt.Println("  " + line)

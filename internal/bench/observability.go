@@ -9,16 +9,24 @@ import (
 
 	"eigenpro/internal/core"
 	"eigenpro/internal/data"
+	"eigenpro/internal/obs"
 	"eigenpro/internal/serve"
 )
+
+// obsSampleEvery is the instrumented mode's wide-event sampling rate:
+// 1-in-N ok events are kept, matching a production head+tail-sampling
+// deployment while still exercising the emit path on every request.
+const obsSampleEvery = 8
 
 // ObsOverheadPoint is one measured cell of the observability-overhead
 // study: the serving hot path driven with instrumentation minimized or
 // maximized.
 type ObsOverheadPoint struct {
-	// Instrumented is false for the baseline (tracing disabled, no
-	// concurrent scrapes) and true for the worst case (every request
-	// traced, /metrics rendered continuously during the load).
+	// Instrumented is false for the baseline (tracing disabled, events
+	// disabled, no concurrent scrapes) and true for the worst case (every
+	// request traced with a latency exemplar, a wide event emitted per
+	// request into a sinked log, /metrics rendered continuously in
+	// OpenMetrics form during the load).
 	Instrumented bool
 	// Requests is the number of completed predictions.
 	Requests int64
@@ -27,15 +35,21 @@ type ObsOverheadPoint struct {
 	// Scrapes counts /metrics expositions rendered during the run (0 for
 	// the baseline).
 	Scrapes int64
+	// EventsEmitted and EventsDropped count the wide events kept in (and
+	// sampled out of) the event ring (0 for the baseline).
+	EventsEmitted, EventsDropped uint64
 }
 
 // runObsPoint drives the serving hot path once. Instrumented mode traces
-// every request and renders the Prometheus exposition every millisecond
-// for the duration — orders of magnitude more often than any real scraper,
-// but still paced: an unpaced busy loop would measure CPU theft by the
-// scraper goroutine, not instrumentation cost on the request path. The
-// baseline disables tracing (the metric counters themselves are always on:
-// they are single atomics and cannot be unwired).
+// every request (landing per-bucket latency exemplars), emits a wide
+// event per request into a log sampling ok outcomes 1-in-obsSampleEvery
+// with a JSON-lines sink attached, and renders the OpenMetrics exposition
+// (exemplars included) every millisecond for the duration — orders of
+// magnitude more often than any real scraper, but still paced: an unpaced
+// busy loop would measure CPU theft by the scraper goroutine, not
+// instrumentation cost on the request path. The baseline disables tracing
+// and event logging (the metric counters themselves are always on: they
+// are single atomics and cannot be unwired).
 func runObsPoint(m *core.Model, clients, perClient int, instrumented bool) (ObsOverheadPoint, error) {
 	cfg := serve.Config{
 		QueueDepth: clients*perClient + 1,
@@ -46,6 +60,9 @@ func runObsPoint(m *core.Model, clients, perClient int, instrumented bool) (ObsO
 	}
 	if instrumented {
 		cfg.TraceEvery = 1
+		cfg.Events = obs.NewEventLog(0)
+		cfg.Events.SetSampleEvery(obsSampleEvery)
+		cfg.Events.SetSink(io.Discard, obs.LevelInfo)
 	}
 	s := serve.New(cfg)
 	defer s.Close()
@@ -67,7 +84,7 @@ func runObsPoint(m *core.Model, clients, perClient int, instrumented bool) (ObsO
 				case <-stopScrape:
 					return
 				case <-tick.C:
-					s.Metrics().WritePrometheus(io.Discard)
+					s.Metrics().WriteOpenMetrics(io.Discard)
 					scrapes++
 				}
 			}
@@ -102,9 +119,11 @@ func runObsPoint(m *core.Model, clients, perClient int, instrumented bool) (ObsO
 	}
 	st := s.Stats()
 	p := ObsOverheadPoint{
-		Instrumented: instrumented,
-		Requests:     st.Requests,
-		Scrapes:      scrapes,
+		Instrumented:  instrumented,
+		Requests:      st.Requests,
+		Scrapes:       scrapes,
+		EventsEmitted: cfg.Events.Emitted(),
+		EventsDropped: cfg.Events.Dropped(),
 	}
 	if sec := wall.Seconds(); sec > 0 {
 		p.WallThroughput = float64(st.Requests) / sec
@@ -145,8 +164,9 @@ func OverheadFraction(base, inst ObsOverheadPoint) float64 {
 }
 
 // ObsOverhead renders ObsOverheadStudy as a report: the serving hot path
-// with tracing off vs every request traced plus continuous /metrics
-// scraping.
+// with tracing and event logging off vs every request traced (with
+// latency exemplars), a wide event per request, and continuous
+// OpenMetrics scraping.
 func ObsOverhead(scale Scale) (*Report, error) {
 	points, err := ObsOverheadStudy(scale, 3)
 	if err != nil {
@@ -154,8 +174,8 @@ func ObsOverhead(scale Scale) (*Report, error) {
 	}
 	rep := &Report{
 		ID:     "obs-overhead",
-		Title:  "observability overhead on the serving hot path (tracing + continuous /metrics scraping)",
-		Header: []string{"attempt", "mode", "requests", "wall req/s", "scrapes", "overhead"},
+		Title:  "observability overhead on the serving hot path (tracing + exemplars + wide events + continuous OpenMetrics scraping)",
+		Header: []string{"attempt", "mode", "requests", "wall req/s", "scrapes", "events", "dropped", "overhead"},
 	}
 	best := 1.0
 	for i := 0; i+1 < len(points); i += 2 {
@@ -165,12 +185,14 @@ func ObsOverhead(scale Scale) (*Report, error) {
 			best = ov
 		}
 		rep.AddRow(fmt.Sprint(i/2+1), "baseline", fmt.Sprint(base.Requests),
-			fmt.Sprintf("%.0f", base.WallThroughput), "0", "")
+			fmt.Sprintf("%.0f", base.WallThroughput), "0", "0", "0", "")
 		rep.AddRow(fmt.Sprint(i/2+1), "instrumented", fmt.Sprint(inst.Requests),
 			fmt.Sprintf("%.0f", inst.WallThroughput), fmt.Sprint(inst.Scrapes),
+			fmt.Sprint(inst.EventsEmitted), fmt.Sprint(inst.EventsDropped),
 			fmtPct(ov))
 	}
 	rep.AddNote("best-of-%d overhead: %s (acceptance bound: < 5%%)", len(points)/2, fmtPct(best))
-	rep.AddNote("baseline disables tracing; counters/histograms are lock-free atomics and always on")
+	rep.AddNote("baseline disables tracing and event logging; counters/histograms are lock-free atomics and always on")
+	rep.AddNote("instrumented mode samples ok events 1-in-%d (head+tail: warn/error always kept); dropped counts the sampled-out", obsSampleEvery)
 	return rep, nil
 }

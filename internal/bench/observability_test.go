@@ -3,11 +3,12 @@ package bench
 import "testing"
 
 // TestObsOverheadUnder5Percent checks the PR's acceptance criterion: full
-// instrumentation (every request traced, /metrics scraped continuously)
-// must cost the serving hot path less than 5% wall throughput. Wall-clock
-// noise dwarfs an overhead this small, so the study measures several
-// (baseline, instrumented) pairs and the best pair decides — a systematic
-// regression past 5% fails every pair, while scheduler jitter does not.
+// instrumentation (every request traced with exemplars, a wide event per
+// request, OpenMetrics scraped continuously) must cost the serving hot
+// path less than 5% wall throughput. Wall-clock noise dwarfs an overhead
+// this small, so the study measures several (baseline, instrumented)
+// pairs and the best pair decides — a systematic regression past 5%
+// fails every pair, while scheduler jitter does not.
 func TestObsOverheadUnder5Percent(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -30,6 +31,16 @@ func TestObsOverheadUnder5Percent(t *testing.T) {
 		}
 		if inst.Scrapes == 0 {
 			t.Fatalf("instrumented run never scraped /metrics")
+		}
+		if base.EventsEmitted != 0 || base.EventsDropped != 0 {
+			t.Fatalf("baseline run emitted events: %+v", base)
+		}
+		if inst.EventsEmitted == 0 {
+			t.Fatalf("instrumented run kept no wide events: %+v", inst)
+		}
+		if inst.EventsDropped == 0 {
+			t.Fatalf("instrumented run dropped no events: 1-in-%d ok sampling inactive: %+v",
+				obsSampleEvery, inst)
 		}
 		if ov := OverheadFraction(base, inst); ov < best {
 			best = ov

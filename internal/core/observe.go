@@ -70,6 +70,32 @@ func ObserveTraining(reg *obs.Registry, base EpochStats, labels ...obs.Label) fu
 	}
 }
 
+// LogTraining returns a Config.OnEpoch hook that emits one wide
+// obs.Event per completed epoch into log: the job name, the 1-based
+// epoch, its ending train MSE, and the epoch's wall-clock and
+// simulated-device-busy durations as deltas. base plays the same role as
+// in ObserveTraining — a resumed trainer's cumulative totals, so the
+// first logged epoch reports only its own work. Epoch events carry no
+// Outcome, so the log's 1-in-N ok sampling never discards them.
+func LogTraining(log *obs.EventLog, job string, base EpochStats) func(EpochStats) {
+	if log == nil {
+		return func(EpochStats) {}
+	}
+	last := base
+	return func(st EpochStats) {
+		log.Emit(obs.Event{
+			Level:      obs.LevelInfo,
+			Kind:       obs.KindTrainEpoch,
+			Job:        job,
+			Epoch:      st.Epoch,
+			MSE:        st.TrainMSE,
+			Wall:       st.Wall - last.Wall,
+			DeviceBusy: st.SimTime - last.SimTime,
+		})
+		last = st
+	}
+}
+
 // ObserveTrainingBase derives the ObserveTraining base from a trainer's
 // partial result, so a resumed run's telemetry continues from the
 // checkpointed totals instead of re-counting them.

@@ -24,8 +24,10 @@ import (
 //	POST   /jobs/{id}/cancel  stop at the next epoch boundary (checkpointing)
 //	POST   /jobs/{id}/resume  continue a cancelled job bit-for-bit
 //	DELETE /jobs/{id}         evict a terminal job (frees data and model)
-//	GET    /metrics           Prometheus exposition of the manager's registry
-//	GET    /debug/traces      recent job span traces (JSON)
+//	GET    /metrics           metric exposition (Prometheus text, or OpenMetrics
+//	                          under Accept: application/openmetrics-text)
+//	GET    /debug/traces      recent job span traces (JSON; ?id= and ?limit=)
+//	GET    /debug/events      recent wide events (JSON; ?job=&outcome=&since=&limit=)
 //	GET    /healthz           liveness
 //	GET    /readyz            readiness: 200 while the manager accepts jobs
 //
@@ -54,6 +56,7 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.Handle("/metrics", obs.MetricsHandler(m.Metrics()))
 	mux.Handle("/debug/traces", obs.TracesHandler(m.Tracer()))
+	mux.Handle("/debug/events", obs.EventsHandler(m.Events()))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

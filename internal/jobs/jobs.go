@@ -72,6 +72,11 @@ type Config struct {
 	// Tracer records one span trace per job (submit → queue → epoch[k] →
 	// checkpoint/register); nil creates a private tracer.
 	Tracer *obs.Tracer
+	// Events receives one wide obs.Event per job lifecycle transition
+	// (kind "job.state") and per completed training epoch (kind
+	// "train.epoch"). nil disables event logging. Pass a serving Server's
+	// event log to read the whole system's history from one /debug/events.
+	Events *obs.EventLog
 }
 
 // Defaults for Config zero values.
@@ -307,7 +312,32 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	m.mu.Unlock()
 	tr.Span("submit", now, time.Now())
 	m.submitted.Inc()
+	m.stateEvent(obs.LevelInfo, id, tr.ID(), StateQueued, "")
 	return id, nil
+}
+
+// stateEvent emits one job.state wide event for a lifecycle transition
+// (no-op with a nil Config.Events). The new state is the event's Outcome,
+// so /debug/events?outcome=failed surfaces failed jobs the same way
+// outcome=shed surfaces shed requests.
+func (m *Manager) stateEvent(level obs.Level, id, traceID string, state State, errText string) {
+	if m.cfg.Events == nil {
+		return
+	}
+	m.cfg.Events.Emit(obs.Event{
+		Level:   level,
+		Kind:    obs.KindJobState,
+		Job:     id,
+		Outcome: string(state),
+		TraceID: traceID,
+		Err:     errText,
+	})
+}
+
+// jobStateEvent is stateEvent reading the id and trace from the job
+// record (both are immutable after Submit publishes the job).
+func (m *Manager) jobStateEvent(level obs.Level, j *job, state State, errText string) {
+	m.stateEvent(level, j.info.ID, j.tr.ID(), state, errText)
 }
 
 // Job returns a snapshot of the job's status.
@@ -364,6 +394,7 @@ func (m *Manager) Cancel(id string) error {
 		j.cancelRequested = true
 		j.info.State = StateCancelled
 		m.cancelled.Inc()
+		m.jobStateEvent(obs.LevelWarn, j, StateCancelled, "")
 		j.cond.Broadcast()
 		return nil
 	case StateRunning:
@@ -409,6 +440,7 @@ func (m *Manager) Resume(id string) error {
 	j.info.State = StateQueued
 	j.info.Resumes++
 	m.resumed.Inc()
+	m.jobStateEvent(obs.LevelInfo, j, StateQueued, "")
 	j.cond.Broadcast()
 	return nil
 }
@@ -474,12 +506,17 @@ func (m *Manager) Close() {
 	for {
 		select {
 		case j := <-m.queue:
+			cancelled := false
 			j.set(func(i *Info) {
 				if i.State == StateQueued {
 					i.State = StateCancelled
 					m.cancelled.Inc()
+					cancelled = true
 				}
 			})
+			if cancelled {
+				m.jobStateEvent(obs.LevelWarn, j, StateCancelled, "")
+			}
 		default:
 			return
 		}
@@ -520,12 +557,14 @@ func (m *Manager) run(j *job) {
 		// Cancelled while queued (or marked by Close); nothing to run.
 		if j.info.State == StateQueued {
 			j.info.State = StateCancelled
+			m.jobStateEvent(obs.LevelWarn, j, StateCancelled, "")
 		}
 		j.cond.Broadcast()
 		j.mu.Unlock()
 		return
 	}
 	j.info.State = StateRunning
+	m.jobStateEvent(obs.LevelInfo, j, StateRunning, "")
 	if j.info.Started.IsZero() {
 		j.info.Started = time.Now()
 	}
@@ -554,11 +593,13 @@ func (m *Manager) run(j *job) {
 		return
 	}
 	// Per-epoch training telemetry lands in the manager's registry labeled
-	// with the job id; a resumed trainer's base keeps the first delta from
-	// re-counting checkpointed totals. A user OnEpoch hook in the spec runs
-	// after it, on the same stats.
+	// with the job id, and as one wide train.epoch event per epoch; a
+	// resumed trainer's base keeps the first delta from re-counting
+	// checkpointed totals. A user OnEpoch hook in the spec runs after
+	// them, on the same stats.
 	onEpoch := core.ChainEpochHooks(
 		core.ObserveTraining(m.cfg.Metrics, core.ObserveTrainingBase(t.Result()), obs.L("job", id)),
+		core.LogTraining(m.cfg.Events, id, core.ObserveTrainingBase(t.Result())),
 		spec.Config.OnEpoch,
 	)
 	for !t.Done() {
@@ -616,6 +657,7 @@ func (m *Manager) run(j *job) {
 		i.Servable = m.cfg.Registrar != nil
 		i.Checkpointed = false
 	})
+	m.jobStateEvent(obs.LevelInfo, j, StateDone, "")
 }
 
 // park checkpoints an interrupted trainer and marks the job cancelled.
@@ -637,8 +679,10 @@ func (m *Manager) park(j *job, t *core.Trainer) {
 		j.info.Error = fmt.Sprintf("checkpoint: %v", err)
 	}
 	j.info.State = StateCancelled
+	errText := j.info.Error
 	j.cond.Broadcast()
 	j.mu.Unlock()
+	m.jobStateEvent(obs.LevelWarn, j, StateCancelled, errText)
 }
 
 // fail marks the job failed.
@@ -649,4 +693,5 @@ func (m *Manager) fail(j *job, err error) {
 		i.Error = err.Error()
 		i.Finished = time.Now()
 	})
+	m.jobStateEvent(obs.LevelError, j, StateFailed, err.Error())
 }

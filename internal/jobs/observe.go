@@ -63,6 +63,10 @@ func (m *Manager) Metrics() *obs.Registry { return m.cfg.Metrics }
 // Tracer returns the span ring recording job lifecycle traces.
 func (m *Manager) Tracer() *obs.Tracer { return m.cfg.Tracer }
 
+// Events returns the wide-event log, or nil when Config.Events was nil
+// (event logging disabled).
+func (m *Manager) Events() *obs.EventLog { return m.cfg.Events }
+
 // Accepting reports whether the manager accepts new submissions — the
 // readiness signal behind GET /readyz.
 func (m *Manager) Accepting() bool {

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAcceptsOpenMetrics(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"text/plain", false},
+		{"application/openmetrics-text", true},
+		{"application/openmetrics-text; version=1.0.0; charset=utf-8", true},
+		{"application/openmetrics-text;version=1.0.0,text/plain;q=0.5", true},
+	}
+	for _, c := range cases {
+		if got := AcceptsOpenMetrics(c.accept); got != c.want {
+			t.Errorf("AcceptsOpenMetrics(%q) = %v, want %v", c.accept, got, c.want)
+		}
+	}
+}
+
+func TestWriteOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests").Add(3)
+	r.Gauge("depth", "queue depth", Label{Key: "model", Value: "m"}).Set(2)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.ObserveEx(0.05, "trace-abc")
+	h.Observe(0.5)
+
+	var om bytes.Buffer
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition missing # EOF terminator:\n%s", out)
+	}
+	// Counter metadata drops _total; the sample keeps it.
+	if !strings.Contains(out, "# TYPE reqs counter") {
+		t.Fatalf("counter family metadata should drop _total:\n%s", out)
+	}
+	if !strings.Contains(out, "reqs_total 3") {
+		t.Fatalf("counter sample should keep _total:\n%s", out)
+	}
+	// Exemplar on the bucket that received the ObserveEx.
+	exLine := regexp.MustCompile(`(?m)^lat_seconds_bucket\{le="0\.1"\} 1 # \{trace_id="trace-abc"\} 0\.05 \d+\.\d{3}$`)
+	if !exLine.MatchString(out) {
+		t.Fatalf("bucket exemplar missing or malformed:\n%s", out)
+	}
+	// The bucket that only saw plain Observe carries no exemplar.
+	if !regexp.MustCompile(`(?m)^lat_seconds_bucket\{le="1"\} 2$`).MatchString(out) {
+		t.Fatalf("un-exemplared bucket line malformed:\n%s", out)
+	}
+
+	// The plain Prometheus exposition stays exemplar-free and keeps _total
+	// metadata (older scrapers reject the OpenMetrics extensions).
+	var plain bytes.Buffer
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	p := plain.String()
+	if strings.Contains(p, "# {") || strings.Contains(p, "# EOF") {
+		t.Fatalf("plain exposition leaked OpenMetrics syntax:\n%s", p)
+	}
+	if !strings.Contains(p, "# TYPE reqs_total counter") {
+		t.Fatalf("plain exposition should keep _total in metadata:\n%s", p)
+	}
+}
+
+func TestObserveExNewestWins(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", []float64{1})
+	h.ObserveEx(0.5, "first")
+	h.ObserveEx(0.7, "second")
+	h.ObserveEx(0.9, "") // empty trace id must not clobber the exemplar
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `trace_id="first"`) {
+		t.Fatalf("older exemplar survived a newer one:\n%s", out)
+	}
+	if !strings.Contains(out, `trace_id="second"`) {
+		t.Fatalf("newest exemplar missing:\n%s", out)
+	}
+}
+
+// TestExemplarConcurrentExposition races ObserveEx against
+// WriteOpenMetrics under -race: the per-bucket pointer swap and the
+// exposition's snapshot loads must not conflict.
+func TestExemplarConcurrentExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.001, 0.01, 0.1, 1})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.ObserveEx(float64(i%5)/4, fmt.Sprintf("t-%d-%d", w, i))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteOpenMetrics(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.Contains(line, "#") && strings.Contains(line, "trace_id") {
+				if !regexp.MustCompile(`# \{trace_id="t-\d+-\d+"\} \d`).MatchString(line) {
+					t.Fatalf("torn exemplar line: %q", line)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

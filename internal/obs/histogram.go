@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram counts observations into fixed buckets (upper-bound
@@ -15,12 +16,20 @@ import (
 type Histogram struct {
 	bounds []float64       // finite upper bounds, ascending
 	counts []atomic.Uint64 // len(bounds)+1; last is overflow
-	sum    atomicFloat
-	count  atomic.Uint64
+	// exemplars holds the most recent trace-linked observation per bucket
+	// (nil pointers until ObserveEx lands one); rendered only in the
+	// OpenMetrics exposition.
+	exemplars []atomic.Pointer[Exemplar]
+	sum       atomicFloat
+	count     atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one value.
@@ -28,6 +37,29 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[h.bucket(v)].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveEx records one value and, when traceID is non-empty, attaches it
+// to the value's bucket as an OpenMetrics exemplar — the link that lets a
+// latency bucket answer "show me one trace that landed here". The store is
+// a single atomic pointer swap; the newest exemplar per bucket wins.
+func (h *Histogram) ObserveEx(v float64, traceID string) {
+	i := h.bucket(v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// exemplarSnapshot copies the per-bucket exemplar pointers.
+func (h *Histogram) exemplarSnapshot() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // bucket returns the index of the first bucket whose bound is >= v
@@ -130,24 +162,40 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // write renders the histogram in exposition format: cumulative
-// name_bucket{le="..."} series, then name_sum and name_count.
-func (h *Histogram) write(w io.Writer, name string, labels []Label) error {
+// name_bucket{le="..."} series, then name_sum and name_count. In
+// OpenMetrics mode each bucket line additionally carries its exemplar.
+func (h *Histogram) write(w io.Writer, name string, labels []Label, om bool) error {
+	var ex []*Exemplar
+	if om {
+		ex = h.exemplarSnapshot()
+	}
+	return renderHistogram(w, name, labels, h.Snapshot(), ex, om)
+}
+
+// renderHistogram writes one histogram series from a snapshot, shared by
+// atomic-backed and func-backed histograms. ex (optional, len(Counts))
+// attaches OpenMetrics exemplars to bucket lines when om is set.
+func renderHistogram(w io.Writer, name string, labels []Label, s HistogramSnapshot, ex []*Exemplar, om bool) error {
 	var cum uint64
-	for i := range h.counts {
-		cum += h.counts[i].Load()
+	for i := 0; i <= len(s.Bounds) && i < len(s.Counts); i++ {
+		cum += s.Counts[i]
 		le := "+Inf"
-		if i < len(h.bounds) {
-			le = formatFloat(h.bounds[i])
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
 		}
 		key := labelKey(append(append([]Label(nil), labels...), Label{Key: "le", Value: le}))
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, key, cum); err != nil {
+		suffix := ""
+		if om && i < len(ex) && ex[i] != nil {
+			suffix = ex[i].exposition()
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, key, cum, suffix); err != nil {
 			return err
 		}
 	}
 	key := labelKey(labels)
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, key, formatFloat(h.sum.Load())); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, key, formatFloat(s.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, key, h.count.Load())
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, key, s.Count)
 	return err
 }

@@ -2,26 +2,41 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 )
 
-// MetricsHandler serves the union of the given registries in Prometheus
-// text exposition format at any path it is mounted on. Duplicate
-// registry pointers are written once, so a combined handler whose
-// subsystems share one registry exposes each series exactly once.
+// MetricsHandler serves the union of the given registries — plus the
+// process-wide Go runtime registry (RuntimeMetrics) — at any path it is
+// mounted on. The format is content-negotiated: an Accept header naming
+// application/openmetrics-text selects the OpenMetrics exposition (with
+// histogram exemplars and a trailing `# EOF`), anything else the
+// Prometheus text format 0.0.4. Duplicate registry pointers are written
+// once, so a combined handler whose subsystems share one registry exposes
+// each series exactly once.
 func MetricsHandler(regs ...*Registry) http.Handler {
-	uniq := dedupRegistries(regs)
+	uniq := dedupRegistries(append(append([]*Registry(nil), regs...), RuntimeMetrics()))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		om := AcceptsOpenMetrics(r.Header.Get("Accept"))
+		if om {
+			w.Header().Set("Content-Type", openMetricsContentType)
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		}
 		for _, reg := range uniq {
-			if err := reg.WritePrometheus(w); err != nil {
+			if err := reg.write(w, om); err != nil {
 				return
 			}
+		}
+		if om {
+			io.WriteString(w, "# EOF\n")
 		}
 	})
 }
@@ -40,7 +55,11 @@ func dedupRegistries(regs []*Registry) []*Registry {
 }
 
 // TracesHandler serves the union of the given tracers' rings as JSON
-// ({"traces": [...]}, newest first per tracer, duplicates written once).
+// ({"traces": [...]}, newest first, duplicate tracers written once).
+// Query parameters:
+//
+//	?id=<trace_id>  return just that trace (404 when not retained)
+//	?limit=N        return at most the N newest traces
 func TracesHandler(tracers ...*Tracer) http.Handler {
 	seen := make(map[*Tracer]bool, len(tracers))
 	uniq := make([]*Tracer, 0, len(tracers))
@@ -56,17 +75,160 @@ func TracesHandler(tracers ...*Tracer) http.Handler {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
+		q := r.URL.Query()
+		if id := q.Get("id"); id != "" {
+			for _, t := range uniq {
+				if snap, ok := t.Find(id); ok {
+					writeJSON(w, http.StatusOK, map[string]any{"traces": []TraceSnapshot{snap}})
+					return
+				}
+			}
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown trace id " + id})
+			return
+		}
 		all := []TraceSnapshot{}
 		for _, t := range uniq {
 			all = append(all, t.Snapshot()...)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		if err := enc.Encode(map[string]any{"traces": all}); err != nil {
-			// Headers are already out; nothing useful left to do.
-			_ = err
+		// Each ring is newest-first; merging several needs a global sort to
+		// keep the limit meaningful.
+		if len(uniq) > 1 {
+			sortTracesNewestFirst(all)
 		}
+		if limit, err := strconv.Atoi(q.Get("limit")); err == nil && limit >= 0 && limit < len(all) {
+			all = all[:limit]
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": all})
 	})
+}
+
+// sortTracesNewestFirst orders snapshots by start time, newest first
+// (insertion sort: rings are small and mostly ordered already).
+func sortTracesNewestFirst(ts []TraceSnapshot) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Start.After(ts[j-1].Start); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// EventsHandler serves the union of the given event logs as JSON:
+//
+//	{"events": [...], "emitted": N, "dropped": N}
+//
+// newest first, filtered by query parameters:
+//
+//	?kind=      event family ("serve.request", "train.epoch", "job.state")
+//	?model=     serving model name
+//	?outcome=   request outcome or job state ("ok", "shed", "failed", ...)
+//	?job=       training job id
+//	?level=     minimum severity ("info", "warn", "error")
+//	?since=     RFC 3339 instant, or a Go duration meaning "this long ago"
+//	?limit=     at most N events (default 256)
+//
+// Nil logs are skipped; with no live logs the payload is empty, so the
+// endpoint is safe to mount unconditionally.
+func EventsHandler(logs ...*EventLog) http.Handler {
+	seen := make(map[*EventLog]bool, len(logs))
+	uniq := make([]*EventLog, 0, len(logs))
+	for _, l := range logs {
+		if l == nil || seen[l] {
+			continue
+		}
+		seen[l] = true
+		uniq = append(uniq, l)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		q, err := parseEventQuery(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return
+		}
+		events := []Event{}
+		var emitted, dropped uint64
+		for _, l := range uniq {
+			events = append(events, l.Query(q)...)
+			emitted += l.Emitted()
+			dropped += l.Dropped()
+		}
+		if len(uniq) > 1 {
+			sortEventsNewestFirst(events)
+			if q.Limit > 0 && len(events) > q.Limit {
+				events = events[:q.Limit]
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"events": events, "emitted": emitted, "dropped": dropped,
+		})
+	})
+}
+
+// defaultEventLimit bounds /debug/events responses with no explicit
+// ?limit.
+const defaultEventLimit = 256
+
+// parseEventQuery builds an EventQuery from request parameters.
+func parseEventQuery(r *http.Request) (EventQuery, error) {
+	v := r.URL.Query()
+	q := EventQuery{
+		Kind:    v.Get("kind"),
+		Model:   v.Get("model"),
+		Outcome: v.Get("outcome"),
+		Job:     v.Get("job"),
+		Limit:   defaultEventLimit,
+	}
+	if lv := v.Get("level"); lv != "" {
+		q.MinLevel = ParseLevel(lv)
+	}
+	if s := v.Get("since"); s != "" {
+		if t, err := time.Parse(time.RFC3339, s); err == nil {
+			q.Since = t
+		} else if d, err := time.ParseDuration(s); err == nil && d >= 0 {
+			q.Since = time.Now().Add(-d)
+		} else {
+			return q, &badParamError{param: "since", value: s}
+		}
+	}
+	if l := v.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			return q, &badParamError{param: "limit", value: l}
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+// badParamError reports an unparseable query parameter.
+type badParamError struct{ param, value string }
+
+func (e *badParamError) Error() string {
+	return "bad " + e.param + " parameter " + strconv.Quote(e.value) +
+		" (want RFC 3339, a Go duration, or a non-negative integer as applicable)"
+}
+
+// sortEventsNewestFirst orders events by time, newest first (insertion
+// sort: per-log slices arrive mostly ordered).
+func sortEventsNewestFirst(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].Time.After(evs[j-1].Time); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing useful left to do.
+		_ = err
+	}
 }
 
 // PprofHandler serves the standard net/http/pprof endpoints under

@@ -85,10 +85,11 @@ type series struct {
 	labels []Label // sorted by key
 	key    string  // rendered label signature
 
-	ctr  *Counter
-	gge  *Gauge
-	fn   func() float64 // func-backed counter or gauge
-	hist *Histogram
+	ctr    *Counter
+	gge    *Gauge
+	fn     func() float64 // func-backed counter or gauge
+	hist   *Histogram
+	histFn func() HistogramSnapshot // func-backed histogram
 }
 
 // family is all series sharing one metric name.
@@ -274,6 +275,17 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return s.hist
 }
 
+// HistogramFunc registers a histogram whose snapshot is read from fn at
+// exposition time (e.g. the Go runtime's GC-pause distribution read from
+// runtime/metrics). The snapshot's bucket layout may differ between
+// scrapes; Re-registration keeps the first function.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramSnapshot, labels ...Label) {
+	fam := r.family(name, help, "histogram", nil, true)
+	fam.get(labels, func(ls []Label, key string) *series {
+		return &series{labels: ls, key: key, histFn: fn}
+	})
+}
+
 // Remove deletes the series with the exact label set from the family, so
 // per-entity gauges (per-job epoch progress) can be evicted with their
 // entity. Removing an absent series is a no-op.
@@ -316,6 +328,11 @@ func (r *Registry) NumSeries() int {
 // WritePrometheus renders every family in Prometheus text exposition
 // format (families sorted by name, series in registration order).
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// write renders every family in the requested exposition dialect.
+func (r *Registry) write(w io.Writer, om bool) error {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.fams))
 	for n := range r.fams {
@@ -328,7 +345,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	r.mu.RUnlock()
 	for _, f := range fams {
-		if err := f.write(w); err != nil {
+		if err := f.write(w, om); err != nil {
 			return err
 		}
 	}
@@ -336,7 +353,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // write renders one family.
-func (f *family) write(w io.Writer) error {
+func (f *family) write(w io.Writer, om bool) error {
 	f.mu.Lock()
 	ss := make([]*series, 0, len(f.order))
 	for _, key := range f.order {
@@ -346,16 +363,20 @@ func (f *family) write(w io.Writer) error {
 	if len(ss) == 0 {
 		return nil
 	}
+	famName := f.name
+	if om {
+		famName = omFamilyName(f.name, f.typ)
+	}
 	if f.help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", famName, f.help); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", famName, f.typ); err != nil {
 		return err
 	}
 	for _, s := range ss {
-		if err := s.write(w, f); err != nil {
+		if err := s.write(w, f, om); err != nil {
 			return err
 		}
 	}
@@ -363,10 +384,12 @@ func (f *family) write(w io.Writer) error {
 }
 
 // write renders one series.
-func (s *series) write(w io.Writer, f *family) error {
+func (s *series) write(w io.Writer, f *family, om bool) error {
 	switch {
 	case s.hist != nil:
-		return s.hist.write(w, f.name, s.labels)
+		return s.hist.write(w, f.name, s.labels, om)
+	case s.histFn != nil:
+		return renderHistogram(w, f.name, s.labels, s.histFn(), nil, om)
 	case s.fn != nil:
 		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.key, formatFloat(s.fn()))
 		return err

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	rtm "runtime/metrics"
+	"sync"
+)
+
+// Go runtime telemetry series names (the conventional go_ prefix, so
+// standard dashboards pick them up).
+const (
+	MetricGoGoroutines       = "go_goroutines"
+	MetricGoGomaxprocs       = "go_gomaxprocs"
+	MetricGoHeapObjectsBytes = "go_heap_objects_bytes"
+	MetricGoMemTotalBytes    = "go_mem_total_bytes"
+	MetricGoGCCycles         = "go_gc_cycles_total"
+	MetricGoGCPauses         = "go_gc_pauses_seconds"
+	MetricGoSchedLatencies   = "go_sched_latencies_seconds"
+)
+
+// maxRuntimeBuckets bounds the bucket count of exposed runtime
+// histograms: runtime/metrics distributions carry hundreds of buckets,
+// which would dominate every scrape; adjacent buckets are merged to at
+// most this many.
+const maxRuntimeBuckets = 32
+
+// RegisterRuntimeMetrics registers Go runtime telemetry into reg:
+// goroutine and GOMAXPROCS gauges, heap/total memory gauges, a GC-cycle
+// counter, and GC-pause and scheduler-latency histograms, all read from
+// runtime/metrics at exposition time (a scrape is the only cost; nothing
+// runs between scrapes). Registration is idempotent.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc(MetricGoGoroutines, "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc(MetricGoGomaxprocs, "GOMAXPROCS: OS threads executing Go code simultaneously.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	reg.GaugeFunc(MetricGoHeapObjectsBytes, "Bytes of live heap objects.",
+		runtimeGauge("/memory/classes/heap/objects:bytes"))
+	reg.GaugeFunc(MetricGoMemTotalBytes, "Total bytes of memory mapped by the Go runtime.",
+		runtimeGauge("/memory/classes/total:bytes"))
+	reg.CounterFunc(MetricGoGCCycles, "Completed garbage-collection cycles.",
+		runtimeGauge("/gc/cycles/total:gc-cycles"))
+	reg.HistogramFunc(MetricGoGCPauses, "Stop-the-world GC pause latency (bucket-merged runtime/metrics distribution; sum approximated from bucket bounds).",
+		runtimeHistogram("/gc/pauses:seconds"))
+	reg.HistogramFunc(MetricGoSchedLatencies, "Goroutine time runnable-but-not-running (bucket-merged runtime/metrics distribution; sum approximated from bucket bounds).",
+		runtimeHistogram("/sched/latencies:seconds"))
+}
+
+var (
+	runtimeOnce sync.Once
+	runtimeReg  *Registry
+)
+
+// RuntimeMetrics returns the process-wide registry carrying the Go
+// runtime series, created on first use. MetricsHandler appends it to
+// every exposition, so both the serving handler and the combined
+// train-serve handler expose runtime telemetry exactly once no matter how
+// their subsystem registries are shared.
+func RuntimeMetrics() *Registry {
+	runtimeOnce.Do(func() {
+		runtimeReg = NewRegistry()
+		RegisterRuntimeMetrics(runtimeReg)
+	})
+	return runtimeReg
+}
+
+// runtimeGauge returns an exposition-time reader for one scalar
+// runtime/metrics sample (0 when the metric is unsupported).
+func runtimeGauge(name string) func() float64 {
+	return func() float64 {
+		s := []rtm.Sample{{Name: name}}
+		rtm.Read(s)
+		switch s[0].Value.Kind() {
+		case rtm.KindUint64:
+			return float64(s[0].Value.Uint64())
+		case rtm.KindFloat64:
+			return s[0].Value.Float64()
+		default:
+			return 0
+		}
+	}
+}
+
+// runtimeHistogram returns an exposition-time snapshot reader for one
+// runtime/metrics distribution (empty when unsupported).
+func runtimeHistogram(name string) func() HistogramSnapshot {
+	return func() HistogramSnapshot {
+		s := []rtm.Sample{{Name: name}}
+		rtm.Read(s)
+		if s[0].Value.Kind() != rtm.KindFloat64Histogram {
+			return HistogramSnapshot{}
+		}
+		return snapshotFromRuntime(s[0].Value.Float64Histogram())
+	}
+}
+
+// snapshotFromRuntime converts a runtime/metrics histogram (bucket i
+// counts observations in [Buckets[i], Buckets[i+1]); the boundary slice
+// may open with -Inf and close with +Inf) into a HistogramSnapshot,
+// merging adjacent buckets down to maxRuntimeBuckets. Sum is approximated
+// as Σ count·upper-bound, since the runtime does not track it.
+func snapshotFromRuntime(h *rtm.Float64Histogram) HistogramSnapshot {
+	if h == nil || len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return HistogramSnapshot{}
+	}
+	type bucket struct {
+		bound float64
+		count uint64
+	}
+	finite := make([]bucket, 0, len(h.Counts))
+	var overflow uint64
+	for i, c := range h.Counts {
+		ub := h.Buckets[i+1]
+		if math.IsInf(ub, 1) {
+			overflow += c
+			continue
+		}
+		finite = append(finite, bucket{bound: ub, count: c})
+	}
+	stride := (len(finite) + maxRuntimeBuckets - 1) / maxRuntimeBuckets
+	if stride < 1 {
+		stride = 1
+	}
+	var snap HistogramSnapshot
+	for i := 0; i < len(finite); i += stride {
+		end := i + stride
+		if end > len(finite) {
+			end = len(finite)
+		}
+		var c uint64
+		for _, b := range finite[i:end] {
+			c += b.count
+		}
+		snap.Bounds = append(snap.Bounds, finite[end-1].bound)
+		snap.Counts = append(snap.Counts, c)
+	}
+	snap.Counts = append(snap.Counts, overflow)
+	for i, c := range snap.Counts {
+		snap.Count += c
+		switch {
+		case i < len(snap.Bounds):
+			snap.Sum += float64(c) * snap.Bounds[i]
+		case len(snap.Bounds) > 0:
+			snap.Sum += float64(c) * snap.Bounds[len(snap.Bounds)-1]
+		}
+	}
+	return snap
+}

@@ -72,7 +72,7 @@ func (s *Server) runBatcher(e *entry) {
 func (s *Server) gather(e *entry, first *request) []*request {
 	max := int(e.maxBatch.Load())
 	reqs := make([]*request, 0, max)
-	if !s.reap(first, time.Now()) {
+	if !s.reap(e, first, time.Now()) {
 		reqs = append(reqs, first)
 	}
 	if max <= 1 {
@@ -96,7 +96,7 @@ func (s *Server) gather(e *entry, first *request) []*request {
 	for len(reqs) < max {
 		select {
 		case r := <-e.queue:
-			if !s.reap(r, time.Now()) {
+			if !s.reap(e, r, time.Now()) {
 				reqs = append(reqs, r)
 			}
 		case <-timer.C:
@@ -116,7 +116,7 @@ func (s *Server) drainReady(e *entry, reqs []*request, max int) []*request {
 	for len(reqs) < max {
 		select {
 		case r := <-e.queue:
-			if !s.reap(r, time.Now()) {
+			if !s.reap(e, r, time.Now()) {
 				reqs = append(reqs, r)
 			}
 		default:

@@ -40,8 +40,10 @@ const (
 //	GET  /v1/models         list registered model names
 //	PUT  /v1/models/{name}  gob model body (core.SaveModel) → register/hot-swap
 //	GET  /v1/stats          serving counters
-//	GET  /metrics           Prometheus text exposition of the server's registry
-//	GET  /debug/traces      recent request span traces (JSON)
+//	GET  /metrics           metric exposition (Prometheus text, or OpenMetrics
+//	                        with exemplars under Accept: application/openmetrics-text)
+//	GET  /debug/traces      recent request span traces (JSON; ?id= and ?limit=)
+//	GET  /debug/events      recent wide events (JSON; ?model=&outcome=&since=&limit=)
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness: 200 once at least one model is registered
 //
@@ -97,6 +99,7 @@ func NewHandler(s *Server) http.Handler {
 	})
 	mux.Handle("/metrics", obs.MetricsHandler(s.Metrics()))
 	mux.Handle("/debug/traces", obs.TracesHandler(s.Tracer()))
+	mux.Handle("/debug/events", obs.EventsHandler(s.Events()))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

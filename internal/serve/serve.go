@@ -98,6 +98,14 @@ type Config struct {
 	// carrying a trace in its context starts one. 0 traces every request;
 	// < 0 disables tracing.
 	TraceEvery int
+	// Events receives one wide obs.Event per request outcome — ok,
+	// rejected, shed, expired, abandoned — carrying the request's model,
+	// queue wait, device time, micro-batch id and occupancy, and trace id.
+	// nil disables event logging entirely (unlike Metrics and Tracer, which
+	// default to private instances): the event ring is an opt-in debugging
+	// surface, and the zero Config keeps the hot path at its minimum cost.
+	// Readable via Server.Events.
+	Events *obs.EventLog
 }
 
 // Defaults for Config zero values.
@@ -147,6 +155,7 @@ type Server struct {
 	work     chan *batch
 	stats    *statsCore
 	traceSeq atomic.Uint64 // request counter for TraceEvery sampling
+	batchSeq atomic.Uint64 // dispatched micro-batch ids for wide events
 
 	done    chan struct{}
 	closed  atomic.Bool
@@ -251,7 +260,9 @@ func (s *Server) Predict(ctx context.Context, name string, x []float64) ([]float
 		if wait := e.estimatedWait(); wait > 0 && req.enq.Add(wait).After(req.deadline) {
 			s.stats.recordShed()
 			tr.Span("shed", req.enq, time.Now())
-			return nil, fmt.Errorf("%w (estimated wait %v)", ErrShed, wait.Round(time.Millisecond))
+			err := fmt.Errorf("%w (estimated wait %v)", ErrShed, wait.Round(time.Millisecond))
+			s.requestEvent(obs.LevelWarn, "shed", e.name, tr, req, err)
+			return nil, err
 		}
 	}
 	select {
@@ -261,6 +272,7 @@ func (s *Server) Predict(ctx context.Context, name string, x []float64) ([]float
 	default:
 		s.stats.recordRejected()
 		tr.Span("rejected", req.enq, time.Now())
+		s.requestEvent(obs.LevelWarn, "rejected", e.name, tr, req, ErrOverloaded)
 		return nil, ErrOverloaded
 	}
 	select {
@@ -292,6 +304,61 @@ func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // Tracer returns the span ring recording sampled request traces.
 func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// Events returns the wide-event log, or nil when Config.Events was nil
+// (event logging disabled).
+func (s *Server) Events() *obs.EventLog { return s.cfg.Events }
+
+// requestEvent emits one serve.request wide event for a request that
+// terminated before any device work — rejected, shed, expired, or
+// abandoned in the queue (no-op with a nil Config.Events). QueueWait is
+// enqueue → now; there is no batch or device time to report.
+func (s *Server) requestEvent(level obs.Level, outcome, model string, tr *obs.Trace,
+	r *request, err error) {
+	if s.cfg.Events == nil {
+		return
+	}
+	ev := obs.Event{
+		Level:     level,
+		Kind:      obs.KindServeRequest,
+		Model:     model,
+		Outcome:   outcome,
+		TraceID:   tr.ID(),
+		Rows:      1,
+		QueueWait: time.Since(r.enq),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	s.cfg.Events.Emit(ev)
+}
+
+// batchEvent emits one serve.request wide event for a request that rode a
+// dispatched micro-batch: ok, or abandoned mid-flight (no-op with a nil
+// Config.Events). QueueWait is enqueue → device dispatch; DeviceTime,
+// BatchID, and Occupancy describe the wave that carried it.
+func (s *Server) batchEvent(level obs.Level, outcome, model string, r *request,
+	batchID uint64, occupancy int, execStart time.Time, deviceTime time.Duration, err error) {
+	if s.cfg.Events == nil {
+		return
+	}
+	ev := obs.Event{
+		Level:      level,
+		Kind:       obs.KindServeRequest,
+		Model:      model,
+		Outcome:    outcome,
+		TraceID:    r.tr.ID(),
+		Rows:       1,
+		QueueWait:  execStart.Sub(r.enq),
+		DeviceTime: deviceTime,
+		BatchID:    batchID,
+		Occupancy:  occupancy,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	s.cfg.Events.Emit(ev)
+}
 
 // startTrace starts a retained trace if this request is sampled (per
 // Config.TraceEvery), or returns nil — safe to use as a no-op trace.
@@ -333,15 +400,17 @@ func (s *Server) Close() {
 // lapsed while queued, or its caller abandoned it (context canceled, server
 // closing) — and reports whether it did. Counting happens before the
 // completion: a waiter that wakes on done must already see itself in the
-// stats snapshot.
-func (s *Server) reap(r *request, now time.Time) bool {
+// stats snapshot. The entry names the model in the request's wide event.
+func (s *Server) reap(e *entry, r *request, now time.Time) bool {
 	switch {
 	case !r.deadline.IsZero() && now.After(r.deadline):
 		s.stats.recordExpired()
+		s.requestEvent(obs.LevelWarn, "expired", e.name, r.tr, r, ErrDeadlineExceeded)
 		r.fail(ErrDeadlineExceeded)
 	case r.isAbandoned():
 		s.stats.recordAbandoned()
 		r.tr.Span("abandoned", r.enq, now)
+		s.requestEvent(obs.LevelWarn, "abandoned", e.name, r.tr, r, context.Canceled)
 		r.fail(context.Canceled)
 	default:
 		return false
@@ -358,7 +427,7 @@ func (s *Server) execute(b *batch) {
 	live := b.reqs[:0]
 	for _, r := range b.reqs {
 		switch {
-		case s.reap(r, now):
+		case s.reap(b.entry, r, now):
 			// Expired or abandoned between gather and execution: no device
 			// work, no latency sample.
 		case len(r.x) != m.X.Cols:
@@ -376,6 +445,7 @@ func (s *Server) execute(b *batch) {
 	for i, r := range live {
 		rows[i] = r.x
 	}
+	batchID := s.batchSeq.Add(1)
 	execStart := time.Now()
 	xq := mat.StackRows(rows, m.X.Cols)
 	out := m.PredictBatch(xq, 0)
@@ -383,7 +453,8 @@ func (s *Server) execute(b *batch) {
 	// Count everything before completing any request: a waiter that wakes
 	// on done must already see itself and its batch in the stats snapshot.
 	done := time.Now()
-	b.entry.observeService(done.Sub(execStart), len(live))
+	deviceTime := done.Sub(execStart)
+	b.entry.observeService(deviceTime, len(live))
 	for _, r := range live {
 		if r.isAbandoned() {
 			// Canceled while the batch was on the device: that work is
@@ -391,11 +462,13 @@ func (s *Server) execute(b *batch) {
 			// delivered responses.
 			s.stats.recordAbandoned()
 			r.tr.Span("abandoned", r.enq, done)
+			s.batchEvent(obs.LevelWarn, "abandoned", b.entry.name, r, batchID, len(live), execStart, deviceTime, context.Canceled)
 			continue
 		}
-		s.stats.recordDone(done.Sub(r.enq))
+		s.stats.recordDone(done.Sub(r.enq), r.tr.ID())
 		r.tr.Span("batch-wait", r.enq, execStart)
 		r.tr.Span("device-execute", execStart, done)
+		s.batchEvent(obs.LevelInfo, "ok", b.entry.name, r, batchID, len(live), execStart, deviceTime, nil)
 	}
 	s.stats.recordBatch(len(live))
 	for i, r := range live {

@@ -130,10 +130,12 @@ func (s *statsCore) recordBatch(occ int) {
 }
 
 // recordDone records one completed request and its enqueue-to-completion
-// latency.
-func (s *statsCore) recordDone(lat time.Duration) {
+// latency. A non-empty traceID lands on the latency bucket as an
+// OpenMetrics exemplar, linking the histogram to the trace that produced
+// the observation.
+func (s *statsCore) recordDone(lat time.Duration, traceID string) {
 	s.requests.Inc()
-	s.lat.Observe(lat.Seconds())
+	s.lat.ObserveEx(lat.Seconds(), traceID)
 }
 
 // OccupancyBucket is one bar of the batch-occupancy histogram: Count
