@@ -31,6 +31,13 @@ func runServe(args []string) {
 	traceEvery := fs.Int("trace-every", 1, "trace every Nth predict request (<0 disables tracing)")
 	logFile := fs.String("log-file", "", "mirror wide events as JSON lines to this file (empty: ring only; \"-\" for stderr)")
 	logEvery := fs.Int("log-every", 1, "keep 1-in-N ok events (warn/error always kept)")
+	sloLatencyP99 := fs.Duration("slo-latency-p99", 0, "latency SLO: requests must complete within this long (0 disables the objective)")
+	sloAvailability := fs.Float64("slo-availability", 0, "availability SLO target in (0,1), e.g. 0.999 (0 disables the objective)")
+	sloWindow := fs.Duration("slo-window", 5*time.Minute, "fast burn-rate window (the slow window is 6x this)")
+	sloTarget := fs.Float64("slo-latency-target", 0.99, "latency SLO: required under-threshold fraction")
+	flightDir := fs.String("flight-dir", "", "flight-recorder snapshot directory (empty: <tmp>/eigenpro-flight)")
+	flightProfile := fs.Duration("flight-profile", 5*time.Second, "flight-recorder CPU-profile length per snapshot (<0 disables the CPU profile)")
+	flightInterval := fs.Duration("flight-interval", 5*time.Minute, "minimum spacing between flight snapshots")
 	trainWorkers := fs.Int("train-workers", 2, "training-job worker pool size")
 	trainQueue := fs.Int("train-queue", 64, "pending training-job queue depth")
 	dataset := fs.String("dataset", "mnist", "fallback training dataset when -model is empty")
@@ -61,6 +68,54 @@ func runServe(args []string) {
 		defer f.Close()
 		events.SetSink(f, eigenpro.EventInfo)
 	}
+	// SLO judgment layer: declarative objectives evaluated from the shared
+	// registry/event log by a background poller, with a flight recorder
+	// armed to snapshot the process on every escalation to page.
+	var sloEval *eigenpro.SLOEvaluator
+	var flight *eigenpro.FlightRecorder
+	if *sloLatencyP99 > 0 || *sloAvailability > 0 {
+		var err error
+		flight, err = eigenpro.NewFlightRecorder(eigenpro.FlightConfig{
+			Dir:         *flightDir,
+			CPUProfile:  *flightProfile,
+			MinInterval: *flightInterval,
+			Events:      events,
+			Tracers:     []*eigenpro.Tracer{tracer},
+			Registries:  []*eigenpro.MetricsRegistry{reg},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight recorder: %v\n", err)
+			os.Exit(1)
+		}
+		var objectives []eigenpro.SLOObjective
+		if *sloAvailability > 0 {
+			objectives = append(objectives, eigenpro.SLOObjective{
+				Kind:   eigenpro.SLOAvailability,
+				Target: *sloAvailability,
+			})
+		}
+		if *sloLatencyP99 > 0 {
+			objectives = append(objectives, eigenpro.SLOObjective{
+				Kind:       eigenpro.SLOLatency,
+				Target:     *sloTarget,
+				LatencyP99: *sloLatencyP99,
+			})
+		}
+		sloEval, err = eigenpro.NewSLOEvaluator(eigenpro.SLOConfig{
+			Objectives: objectives,
+			Window:     *sloWindow,
+			Source:     reg,
+			Events:     events,
+			Flight:     flight,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slo: %v\n", err)
+			os.Exit(1)
+		}
+		defer sloEval.Close()
+		fmt.Printf("slo: %d objective(s), window %v (slow %v), flight snapshots under %s\n",
+			len(objectives), *sloWindow, 6**sloWindow, flight.Dir())
+	}
 	srv := eigenpro.NewServer(eigenpro.ServerConfig{
 		MaxBatch:   *maxBatch,
 		MaxLatency: *maxLatency,
@@ -72,6 +127,8 @@ func runServe(args []string) {
 		Tracer:     tracer,
 		TraceEvery: *traceEvery,
 		Events:     events,
+		SLO:        sloEval,
+		Flight:     flight,
 	})
 	defer srv.Close()
 
@@ -101,6 +158,8 @@ func runServe(args []string) {
 		Metrics:    reg,
 		Tracer:     tracer,
 		Events:     events,
+		SLO:        sloEval,
+		Flight:     flight,
 	})
 	defer mgr.Close()
 
@@ -111,6 +170,9 @@ func runServe(args []string) {
 	mux := http.NewServeMux()
 	mux.Handle("/", eigenpro.NewTrainServeHandler(srv, mgr))
 	endpoints := "POST /v1/predict, GET /v1/stats, POST /train, GET /jobs"
+	if sloEval != nil {
+		endpoints += ", GET /debug/slo, GET /debug/flight"
+	}
 	if *metricsOn {
 		endpoints += ", GET /metrics"
 	} else {

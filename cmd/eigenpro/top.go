@@ -16,17 +16,19 @@ import (
 )
 
 // runTop implements the top subcommand: a terminal dashboard that polls a
-// serving process's GET /metrics and GET /debug/events and renders live
-// throughput, latency quantiles, batch occupancy, shed rate, queue depths
-// per model, per-job training progress, and the most recent warn/error
-// events. Rates and quantiles are computed over the polling window (two
-// consecutive scrapes), not since process start, so the display tracks
-// what the server is doing now.
+// serving process's GET /metrics, GET /debug/events, and GET /debug/slo
+// and renders live throughput, latency quantiles, batch occupancy, shed
+// rate, queue depths per model, per-job training progress, per-objective
+// SLO standing (burn rates, error budget, alert state), and the most
+// recent warn/error events. Rates and quantiles are computed over the
+// polling window (two consecutive scrapes), not since process start, so
+// the display tracks what the server is doing now. In -once mode the exit
+// status is 2 when any SLO objective is paging, so CI can gate on it.
 func runTop(args []string) {
 	fs := flag.NewFlagSet("top", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8095", "host:port (or full URL) of the eigenpro server")
 	interval := fs.Duration("interval", time.Second, "polling interval")
-	once := fs.Bool("once", false, "render one snapshot (two polls, one interval apart) and exit")
+	once := fs.Bool("once", false, "render one snapshot (two polls, one interval apart) and exit; exit status 2 if an SLO objective is paging")
 	showEvents := fs.Int("events", 4, "recent warn/error events to show")
 	fs.Parse(args)
 
@@ -51,6 +53,11 @@ func runTop(args []string) {
 		out := renderDashboard(deriveDashboard(prev, cur, *showEvents))
 		if *once {
 			fmt.Print(out)
+			// CI gate: a paging SLO objective fails the snapshot run.
+			if cur.sloPaging {
+				fmt.Fprintln(os.Stderr, "top: an SLO objective is paging")
+				os.Exit(2)
+			}
 			return
 		}
 		// Clear the terminal and repaint in place.
@@ -59,8 +66,8 @@ func runTop(args []string) {
 	}
 }
 
-// poll is one scrape of the server: the metric samples and the newest
-// events, timestamped.
+// poll is one scrape of the server: the metric samples, the newest
+// events, and the SLO standings, timestamped.
 type poll struct {
 	at       time.Time
 	samples  []sample
@@ -68,10 +75,15 @@ type poll struct {
 	emitted  uint64
 	dropped  uint64
 	hasEvent bool
+
+	slos      []eigenpro.SLOObjectiveStatus
+	sloPaging bool
+	hasSLO    bool
 }
 
-// pollServer fetches /metrics and /debug/events. A failing events
-// endpoint (disabled logging, older server) degrades to metrics-only.
+// pollServer fetches /metrics, /debug/events, and /debug/slo. A failing
+// events or slo endpoint (disabled logging, no evaluator, older server)
+// degrades to whatever surfaces answer.
 func pollServer(client *http.Client, base string) (poll, error) {
 	p := poll{at: time.Now()}
 	body, err := fetch(client, base+"/metrics")
@@ -90,6 +102,17 @@ func pollServer(client *http.Client, base string) (poll, error) {
 			p.emitted = payload.Emitted
 			p.dropped = payload.Dropped
 			p.hasEvent = true
+		}
+	}
+	if body, err := fetch(client, base+"/debug/slo"); err == nil {
+		var payload struct {
+			Objectives []eigenpro.SLOObjectiveStatus `json:"objectives"`
+			Paging     bool                          `json:"paging"`
+		}
+		if json.Unmarshal(body, &payload) == nil && len(payload.Objectives) > 0 {
+			p.slos = payload.Objectives
+			p.sloPaging = payload.Paging
+			p.hasSLO = true
 		}
 	}
 	return p, nil
@@ -349,6 +372,10 @@ type dashboard struct {
 	goroutines float64
 	heapBytes  float64
 
+	hasSLO bool
+	paging bool
+	slos   []eigenpro.SLOObjectiveStatus
+
 	hasEvents                    bool
 	eventsEmitted, eventsDropped uint64
 	recent                       []eigenpro.Event
@@ -422,6 +449,9 @@ func deriveDashboard(prev, cur poll, showEvents int) dashboard {
 	d.hasEvents = cur.hasEvent
 	d.eventsEmitted = cur.emitted
 	d.eventsDropped = cur.dropped
+	d.hasSLO = cur.hasSLO
+	d.paging = cur.sloPaging
+	d.slos = cur.slos
 	return d
 }
 
@@ -438,6 +468,15 @@ func renderDashboard(d dashboard) string {
 		fmt.Fprintf(&b, "events    %d emitted, %d sampled out\n", d.eventsEmitted, d.eventsDropped)
 	}
 	b.WriteString("\n")
+	if d.hasSLO {
+		b.WriteString("  slo objective          state   burn fast   burn slow    budget\n")
+		for _, o := range d.slos {
+			fmt.Fprintf(&b, "  %-22s %-6s %10.2f  %10.2f  %7.1f%%\n",
+				o.Name, strings.ToUpper(o.State), o.BurnFast, o.BurnSlow,
+				100*o.ErrorBudgetRemaining)
+		}
+		b.WriteString("\n")
+	}
 	if len(d.models) > 0 {
 		b.WriteString("  model                queue   ok ev/s\n")
 		for _, m := range d.models {

@@ -22,6 +22,10 @@ func TestPollServer(t *testing.T) {
 		}
 		w.Write([]byte(`{"events":[{"kind":"serve.request","outcome":"ok"}],"emitted":7,"dropped":2}`))
 	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"objectives":[{"name":"availability","state":"page","burn_fast":20.5,` +
+			`"burn_slow":8.1,"error_budget_remaining":-0.4}],"paging":true}`))
+	})
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
 
@@ -34,6 +38,9 @@ func TestPollServer(t *testing.T) {
 	}
 	if !p.hasEvent || len(p.events) != 1 || p.emitted != 7 || p.dropped != 2 {
 		t.Fatalf("events poll = %+v", p)
+	}
+	if !p.hasSLO || !p.sloPaging || len(p.slos) != 1 || p.slos[0].Name != "availability" {
+		t.Fatalf("slo poll = %+v", p)
 	}
 
 	// A server without /debug/events (disabled logging) degrades to
@@ -52,6 +59,9 @@ func TestPollServer(t *testing.T) {
 	}
 	if p.hasEvent {
 		t.Fatal("poll claims events from a server without /debug/events")
+	}
+	if p.hasSLO || p.sloPaging {
+		t.Fatal("poll claims SLOs from a server without /debug/slo")
 	}
 	if len(p.samples) != 1 {
 		t.Fatalf("samples = %+v", p.samples)
@@ -290,6 +300,42 @@ func TestRenderDashboard(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered dashboard missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestTopSLOPanel checks the SLO standings flow from poll through derive
+// into the rendered panel, and that the panel is omitted when the server
+// exposes no evaluator.
+func TestTopSLOPanel(t *testing.T) {
+	t0 := time.Now()
+	cur := topPoll(t0.Add(time.Second), "go_goroutines 1\n", nil)
+	cur.hasSLO = true
+	cur.sloPaging = true
+	cur.slos = []eigenpro.SLOObjectiveStatus{
+		{Name: "availability", State: "page", BurnFast: 20.5, BurnSlow: 8.1,
+			ErrorBudgetRemaining: -0.4},
+		{Name: "latency-p99", State: "ok", BurnFast: 0.2, BurnSlow: 0.1,
+			ErrorBudgetRemaining: 0.97},
+	}
+	d := deriveDashboard(topPoll(t0, "go_goroutines 1\n", nil), cur, 4)
+	if !d.hasSLO || !d.paging || len(d.slos) != 2 {
+		t.Fatalf("derived SLO view = %+v", d)
+	}
+
+	out := renderDashboard(d)
+	for _, want := range []string{
+		"slo objective", "availability", "PAGE", "20.50", "8.10", "-40.0%",
+		"latency-p99", "OK", "97.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SLO panel missing %q:\n%s", want, out)
+		}
+	}
+
+	// No evaluator: no panel.
+	d.hasSLO = false
+	if out := renderDashboard(d); strings.Contains(out, "slo objective") {
+		t.Fatal("SLO panel rendered without an evaluator")
 	}
 }
 

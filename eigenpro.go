@@ -35,6 +35,7 @@ import (
 	"eigenpro/internal/mat"
 	"eigenpro/internal/metrics"
 	"eigenpro/internal/obs"
+	"eigenpro/internal/obs/slo"
 	"eigenpro/internal/parallel"
 	"eigenpro/internal/serve"
 	"eigenpro/internal/svm"
@@ -318,6 +319,92 @@ func LogTraining(log *EventLog, job string) func(EpochStats) {
 // /debug/pprof/ — mount it explicitly (it is never wired in by default).
 func PprofHandler() http.Handler { return obs.PprofHandler() }
 
+// SLOEvaluator judges the telemetry the rest of the system emits:
+// declarative objectives (availability, latency, training progress)
+// evaluated on a fixed cadence from the MetricsRegistry and EventLog into
+// Google-SRE-style multi-window burn rates with fast (page) and slow
+// (warn) alert rules, hysteresis, and wide slo.state transition events.
+// It polls — the serving and training hot paths carry no new locks or
+// instrumentation. A nil *SLOEvaluator is valid everywhere and reports
+// every objective healthy. See internal/obs/slo.
+type SLOEvaluator = slo.Evaluator
+
+// SLOConfig configures NewSLOEvaluator: the objectives, the fast-rule
+// window (slow is 6x), the evaluation cadence, and the telemetry sources.
+// Set Flight to a FlightRecorder to capture a debugging snapshot on every
+// escalation to page.
+type SLOConfig = slo.Config
+
+// SLOObjective declares one objective; zero optional fields select
+// defaults (target 99%, 250ms latency threshold, the serving series).
+type SLOObjective = slo.Objective
+
+// SLOKind selects what an SLOObjective measures.
+type SLOKind = slo.Kind
+
+// Objective kinds.
+const (
+	// SLOAvailability measures the non-ok outcome ratio over served
+	// requests (rejected + expired + abandoned + shed vs completed).
+	SLOAvailability = slo.Availability
+	// SLOLatency measures the fraction of requests completing under the
+	// objective's LatencyP99 threshold.
+	SLOLatency = slo.Latency
+	// SLOTrainingProgress measures per-job training health from
+	// train.epoch wide events: epoch-duration stretch and validation-error
+	// regression.
+	SLOTrainingProgress = slo.TrainingProgress
+)
+
+// SLOStatus is the full /debug/slo payload: every objective's burn rates,
+// error-budget remaining, and alert state, plus the transition history.
+type SLOStatus = slo.Status
+
+// SLOObjectiveStatus is one objective's current standing within an
+// SLOStatus.
+type SLOObjectiveStatus = slo.ObjectiveStatus
+
+// SLOTransition is one recorded ok|warn|page alert-state change.
+type SLOTransition = slo.Transition
+
+// NewSLOEvaluator validates cfg, registers the eigenpro_slo_* gauges into
+// cfg.Metrics (default cfg.Source), and starts the background evaluation
+// loop; call Close to release it. Attach the evaluator to
+// ServerConfig.SLO / TrainingConfig.SLO so the HTTP handlers serve
+// GET /debug/slo and degrade /readyz while an objective pages.
+func NewSLOEvaluator(cfg SLOConfig) (*SLOEvaluator, error) { return slo.New(cfg) }
+
+// SLOHandler serves GET /debug/slo for the given evaluators (nil
+// evaluators are skipped; duplicates are reported once).
+func SLOHandler(evs ...*SLOEvaluator) http.Handler { return slo.Handler(evs...) }
+
+// FlightRecorder captures breach-triggered debugging snapshots: a CPU
+// profile, heap profile, goroutine dump, the newest wide events, the
+// retained span traces, and both metrics expositions, written as one
+// directory per capture into a bounded, rate-limited disk ring. Arm it
+// via SLOConfig.Flight so every warn→page escalation ships with the
+// evidence needed to diagnose it. A nil *FlightRecorder is valid and
+// disables capturing.
+type FlightRecorder = obs.FlightRecorder
+
+// FlightConfig configures NewFlightRecorder; zero values select the
+// defaults (8 snapshots, >= 5m apart, 5s CPU profile, 512 events).
+type FlightConfig = obs.FlightConfig
+
+// FlightSnapshot describes one captured snapshot, as listed by
+// GET /debug/flight.
+type FlightSnapshot = obs.FlightSnapshot
+
+// NewFlightRecorder returns a recorder writing snapshots under cfg.Dir
+// (default <tmp>/eigenpro-flight), creating the directory if needed.
+func NewFlightRecorder(cfg FlightConfig) (*FlightRecorder, error) {
+	return obs.NewFlightRecorder(cfg)
+}
+
+// FlightHandler serves GET /debug/flight: the snapshot listing, one
+// snapshot's file list (?snapshot=), or raw file contents (?file=).
+func FlightHandler(f *FlightRecorder) http.Handler { return obs.FlightHandler(f) }
+
 // ObserveTraining returns a Config.OnEpoch hook that records per-epoch
 // training telemetry (epoch/iteration counters, epoch-duration histogram,
 // and labeled train-MSE / validation-error / device-utilization gauges)
@@ -394,8 +481,11 @@ func JobStatus(m *TrainingManager, id string) (TrainingJob, bool) { return m.Job
 // train-MSE trajectory; runtime telemetry (go_*) rides along, and an
 // Accept: application/openmetrics-text header selects OpenMetrics with
 // latency exemplars. GET /debug/traces merges both span rings,
-// GET /debug/events merges both wide-event logs, and GET /readyz reports
-// ready once a model is servable or the manager is accepting jobs.
+// GET /debug/events merges both wide-event logs, GET /debug/slo merges
+// both SLO evaluators (and /debug/flight serves whichever flight recorder
+// is attached), and GET /readyz reports ready once a model is servable or
+// the manager is accepting jobs — degraded (503) while any SLO objective
+// is paging.
 func NewTrainServeHandler(s *Server, m *TrainingManager) http.Handler {
 	mux := http.NewServeMux()
 	jh := jobs.NewHandler(m)
@@ -405,10 +495,21 @@ func NewTrainServeHandler(s *Server, m *TrainingManager) http.Handler {
 	mux.Handle("/metrics", obs.MetricsHandler(s.Metrics(), m.Metrics()))
 	mux.Handle("/debug/traces", obs.TracesHandler(s.Tracer(), m.Tracer()))
 	mux.Handle("/debug/events", obs.EventsHandler(s.Events(), m.Events()))
+	mux.Handle("/debug/slo", slo.Handler(s.SLO(), m.SLO()))
+	flight := s.Flight()
+	if flight == nil {
+		flight = m.Flight()
+	}
+	mux.Handle("/debug/flight", obs.FlightHandler(flight))
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if len(s.Models()) == 0 && !m.Accepting() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			io.WriteString(w, "not ready\n")
+			return
+		}
+		if slo.AnyPaging(s.SLO(), m.SLO()) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "degraded: slo page\n")
 			return
 		}
 		io.WriteString(w, "ok\n")

@@ -18,6 +18,15 @@
 //     transition plus one train.epoch record per epoch);
 //   - a trimmed /metrics scrape showing serving, jobs, trainer, and Go
 //     runtime series side by side in one exposition.
+//
+// The last act adds the judgment layer: declarative SLOs evaluated as
+// burn rates over the same telemetry, with a flight recorder armed behind
+// them. The demo defines a latency objective on real serving (which stays
+// healthy) plus a synthetic availability objective fed by demo counters,
+// drives the synthetic one to a breach, and watches the alert walk
+// ok → warn → page: /readyz degrades, a diagnosis snapshot (CPU/heap
+// profiles, goroutines, recent wide events, traces, metrics) lands on
+// disk, and /debug/flight serves it back.
 package main
 
 import (
@@ -28,6 +37,8 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -48,10 +59,53 @@ func main() {
 	//   events.SetSampleEvery(10)
 	//   events.SetSink(os.Stderr, eigenpro.EventWarn)
 
+	// The judgment layer. A flight recorder holds the evidence locker
+	// (bounded on disk, rate-limited), and the SLO evaluator polls the
+	// registry once per Resolution, folding deltas into burn-rate windows —
+	// the serving hot path is never touched. The latency objective watches
+	// real serving and will stay green; the availability objective watches
+	// two demo counters this walkthrough will push into breach.
+	flightDir, err := os.MkdirTemp("", "eigenpro-flight-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(flightDir)
+	demoGood := reg.Counter("demo_good_total", "synthetic good requests")
+	demoBad := reg.Counter("demo_bad_total", "synthetic bad requests")
+	flight, err := eigenpro.NewFlightRecorder(eigenpro.FlightConfig{
+		Dir:        flightDir,
+		CPUProfile: 100 * time.Millisecond, // keep the demo snappy; default is 5s
+		Events:     events,
+		Registries: []*eigenpro.MetricsRegistry{reg},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sloEval, err := eigenpro.NewSLOEvaluator(eigenpro.SLOConfig{
+		Objectives: []eigenpro.SLOObjective{
+			{Kind: eigenpro.SLOLatency, Name: "serve-latency", Target: 0.99,
+				LatencyP99: 250 * time.Millisecond},
+			{Kind: eigenpro.SLOAvailability, Name: "demo-availability", Target: 0.99,
+				GoodMetric: "demo_good_total", BadMetrics: []string{"demo_bad_total"}},
+		},
+		Window:     2 * time.Second, // demo-sized; production uses minutes
+		Resolution: 50 * time.Millisecond,
+		PageAfter:  300 * time.Millisecond,
+		Source:     reg,
+		Events:     events,
+		Flight:     flight,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sloEval.Close()
+
 	srv := eigenpro.NewServer(eigenpro.ServerConfig{
 		Metrics: reg,
 		Tracer:  tracer,
 		Events:  events,
+		SLO:     sloEval,
+		Flight:  flight,
 	})
 	defer srv.Close()
 	mgr := eigenpro.NewTrainingManager(eigenpro.TrainingConfig{
@@ -240,5 +294,106 @@ func main() {
 				fmt.Println("  " + line)
 			}
 		}
+	}
+
+	// ---- The judgment layer: SLO burn rates and the flight recorder ----
+
+	// Healthy first. The evaluator's opening observation is a baseline:
+	// counts that predate it read as history, not traffic (and on a busy
+	// box the background tick may lag the CPU-heavy walkthrough above),
+	// so wait for the first tick before seeding good traffic, then spread
+	// it across a few resolution windows like a real workload would.
+	for sloEval.Ticks() == 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := 0; i < 8; i++ {
+		demoGood.Add(25)
+		time.Sleep(60 * time.Millisecond)
+	}
+	fmt.Println("\nSLO standings before the breach:")
+	printSLOs(ts.URL)
+
+	// Drive the synthetic breach: all-bad traffic burns the 1% error
+	// budget at 100x, tripping the fast burn rule (warn), and sustaining
+	// it past PageAfter escalates to page — which trips the armed flight
+	// recorder exactly once (further triggers are rate-limited).
+	fmt.Println("\ndriving all-bad synthetic traffic...")
+	for i := 0; !sloEval.Paging() && i < 200; i++ {
+		demoBad.Add(25)
+		time.Sleep(25 * time.Millisecond)
+	}
+	fmt.Println("\nSLO standings during the breach:")
+	printSLOs(ts.URL)
+
+	// Readiness now reports the process degraded.
+	rr, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rbody, _ := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	fmt.Printf("\nGET /readyz -> %d %s", rr.StatusCode, rbody)
+
+	// The page shipped with its diagnosis bundle. meta.json is written
+	// last, so a listed-and-complete snapshot is fully on disk.
+	flight.Wait()
+	fr, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var flightList struct {
+		Snapshots []eigenpro.FlightSnapshot `json:"snapshots"`
+	}
+	if err := json.NewDecoder(fr.Body).Decode(&flightList); err != nil {
+		log.Fatal(err)
+	}
+	fr.Body.Close()
+	for _, snap := range flightList.Snapshots {
+		fmt.Printf("\nflight snapshot %s (reason %q, complete %v):\n",
+			filepath.Join(flightDir, snap.Name), snap.Reason, snap.Complete)
+		for _, f := range snap.Files {
+			fmt.Printf("  %-14s %6d bytes\n", f.Name, f.Bytes)
+		}
+	}
+
+	// Every alert-state change is also a wide event on the shared log.
+	sr, err := http.Get(ts.URL + "/debug/events?kind=slo.state")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sloEvents struct {
+		Events []eigenpro.Event `json:"events"`
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&sloEvents); err != nil {
+		log.Fatal(err)
+	}
+	sr.Body.Close()
+	fmt.Println("\nslo.state wide events (newest first):")
+	for _, ev := range sloEvents.Events {
+		fmt.Printf("  %-7s %-20s -> %s\n", ev.Level, ev.Objective, ev.Outcome)
+	}
+}
+
+// printSLOs renders the /debug/slo standings as a small table.
+func printSLOs(base string) {
+	resp, err := http.Get(base + "/debug/slo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var payload struct {
+		Objectives []eigenpro.SLOObjectiveStatus `json:"objectives"`
+		Paging     bool                          `json:"paging"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, o := range payload.Objectives {
+		fmt.Printf("  %-20s %-5s burn fast %7.2f  slow %7.2f  budget %6.1f%%\n",
+			o.Name, strings.ToUpper(o.State), o.BurnFast, o.BurnSlow,
+			100*o.ErrorBudgetRemaining)
+	}
+	if payload.Paging {
+		fmt.Println("  (paging: /readyz now reports degraded)")
 	}
 }

@@ -4,7 +4,8 @@ import "testing"
 
 // TestObsOverheadUnder5Percent checks the PR's acceptance criterion: full
 // instrumentation (every request traced with exemplars, a wide event per
-// request, OpenMetrics scraped continuously) must cost the serving hot
+// request, OpenMetrics scraped continuously, SLO burn rates evaluated at
+// a 10ms cadence with an armed flight recorder) must cost the serving hot
 // path less than 5% wall throughput. Wall-clock noise dwarfs an overhead
 // this small, so the study measures several (baseline, instrumented)
 // pairs and the best pair decides — a systematic regression past 5%
@@ -41,6 +42,15 @@ func TestObsOverheadUnder5Percent(t *testing.T) {
 		if inst.EventsDropped == 0 {
 			t.Fatalf("instrumented run dropped no events: 1-in-%d ok sampling inactive: %+v",
 				obsSampleEvery, inst)
+		}
+		if base.SLOTicks != 0 {
+			t.Fatalf("baseline run evaluated SLOs: %+v", base)
+		}
+		if inst.SLOTicks == 0 {
+			t.Fatalf("instrumented run never evaluated SLOs: %+v", inst)
+		}
+		if inst.SLOEvalCost <= 0 {
+			t.Fatalf("instrumented run reports no SLO evaluation cost: %+v", inst)
 		}
 		if ov := OverheadFraction(base, inst); ov < best {
 			best = ov

@@ -83,7 +83,7 @@ func LogTraining(log *obs.EventLog, job string, base EpochStats) func(EpochStats
 	}
 	last := base
 	return func(st EpochStats) {
-		log.Emit(obs.Event{
+		ev := obs.Event{
 			Level:      obs.LevelInfo,
 			Kind:       obs.KindTrainEpoch,
 			Job:        job,
@@ -91,7 +91,11 @@ func LogTraining(log *obs.EventLog, job string, base EpochStats) func(EpochStats
 			MSE:        st.TrainMSE,
 			Wall:       st.Wall - last.Wall,
 			DeviceBusy: st.SimTime - last.SimTime,
-		})
+		}
+		if st.ValError == st.ValError { // not NaN (no validation set)
+			ev.ValError = st.ValError
+		}
+		log.Emit(ev)
 		last = st
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"eigenpro/internal/kernel"
 	"eigenpro/internal/mat"
 	"eigenpro/internal/obs"
+	"eigenpro/internal/obs/slo"
 )
 
 // NewHandler exposes a Manager over HTTP JSON:
@@ -28,8 +29,11 @@ import (
 //	                          under Accept: application/openmetrics-text)
 //	GET    /debug/traces      recent job span traces (JSON; ?id= and ?limit=)
 //	GET    /debug/events      recent wide events (JSON; ?job=&outcome=&since=&limit=)
+//	GET    /debug/slo         SLO objectives, burn rates, budget, alert history (JSON)
+//	GET    /debug/flight      flight-recorder snapshots (JSON; ?snapshot= and ?file=)
 //	GET    /healthz           liveness
-//	GET    /readyz            readiness: 200 while the manager accepts jobs
+//	GET    /readyz            readiness: 200 while the manager accepts jobs;
+//	                          503 "degraded" while an SLO objective is paging
 //
 // Combined with the serving handler on one mux (eigenpro.NewTrainServeHandler),
 // a model trained via POST /train is immediately servable via POST
@@ -57,6 +61,8 @@ func NewHandler(m *Manager) http.Handler {
 	mux.Handle("/metrics", obs.MetricsHandler(m.Metrics()))
 	mux.Handle("/debug/traces", obs.TracesHandler(m.Tracer()))
 	mux.Handle("/debug/events", obs.EventsHandler(m.Events()))
+	mux.Handle("/debug/slo", slo.Handler(m.SLO()))
+	mux.Handle("/debug/flight", obs.FlightHandler(m.Flight()))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -64,6 +70,11 @@ func NewHandler(m *Manager) http.Handler {
 		if !m.Accepting() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "not ready")
+			return
+		}
+		if m.SLO().Paging() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "degraded: slo page")
 			return
 		}
 		fmt.Fprintln(w, "ok")

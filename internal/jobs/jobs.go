@@ -34,6 +34,7 @@ import (
 	"eigenpro/internal/core"
 	"eigenpro/internal/mat"
 	"eigenpro/internal/obs"
+	"eigenpro/internal/obs/slo"
 )
 
 // Errors returned by the job lifecycle.
@@ -77,6 +78,15 @@ type Config struct {
 	// "train.epoch"). nil disables event logging. Pass a serving Server's
 	// event log to read the whole system's history from one /debug/events.
 	Events *obs.EventLog
+	// SLO is the burn-rate evaluator judging this manager's telemetry
+	// (typically a training_progress objective reading the shared event
+	// log). The manager never calls into it; carrying it here lets
+	// NewHandler mount GET /debug/slo and degrade /readyz while an
+	// objective is paging. nil disables both.
+	SLO *slo.Evaluator
+	// Flight is the breach-triggered flight recorder whose snapshots
+	// NewHandler serves at GET /debug/flight; nil disables the endpoint.
+	Flight *obs.FlightRecorder
 }
 
 // Defaults for Config zero values.

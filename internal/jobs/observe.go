@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"eigenpro/internal/obs"
+	"eigenpro/internal/obs/slo"
 )
 
 // Job-lifecycle telemetry series names. The lifecycle counters and the
@@ -66,6 +67,13 @@ func (m *Manager) Tracer() *obs.Tracer { return m.cfg.Tracer }
 // Events returns the wide-event log, or nil when Config.Events was nil
 // (event logging disabled).
 func (m *Manager) Events() *obs.EventLog { return m.cfg.Events }
+
+// SLO returns the burn-rate evaluator, or nil when Config.SLO was nil
+// (nil is valid everywhere it is passed).
+func (m *Manager) SLO() *slo.Evaluator { return m.cfg.SLO }
+
+// Flight returns the flight recorder, or nil when Config.Flight was nil.
+func (m *Manager) Flight() *obs.FlightRecorder { return m.cfg.Flight }
 
 // Accepting reports whether the manager accepts new submissions — the
 // readiness signal behind GET /readyz.

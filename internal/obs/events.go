@@ -69,6 +69,11 @@ const (
 	KindTrainEpoch = "train.epoch"
 	// KindJobState is one record per training-job lifecycle transition.
 	KindJobState = "job.state"
+	// KindSLOState is one record per SLO alert-state transition
+	// (ok|warn|page), emitted by the burn-rate evaluator.
+	KindSLOState = "slo.state"
+	// KindFlight is one record per captured flight-recorder snapshot.
+	KindFlight = "flight.snapshot"
 )
 
 // Event is one wide, structured record of something the system did: a
@@ -77,12 +82,16 @@ const (
 // exactly happened to request X?" is answered by one record instead of a
 // join across log lines.
 type Event struct {
+	// Seq is the event's position in its log's emission order (1-based,
+	// assigned by Emit) — a resumable cursor for pollers:
+	// /debug/events?since=<seq> returns only events emitted after it.
+	Seq uint64 `json:"seq,omitempty"`
 	// Time is when the event was emitted.
 	Time time.Time `json:"time"`
 	// Level is the severity (info, warn, error).
 	Level Level `json:"level"`
 	// Kind names the event family: "serve.request", "train.epoch",
-	// "job.state".
+	// "job.state", "slo.state", "flight.snapshot".
 	Kind string `json:"kind"`
 
 	// Model is the serving model name (serve.request events).
@@ -110,13 +119,22 @@ type Event struct {
 	// request.
 	DeviceTime time.Duration `json:"device_time_ns,omitempty"`
 
-	// Epoch, MSE, Wall, and DeviceBusy describe one training epoch: the
-	// 1-based epoch, its ending train MSE, and the epoch's wall-clock and
-	// simulated-device-busy durations (deltas, not cumulative).
+	// Epoch, MSE, ValError, Wall, and DeviceBusy describe one training
+	// epoch: the 1-based epoch, its ending train MSE, the validation
+	// classification error (0 when no validation set is attached), and the
+	// epoch's wall-clock and simulated-device-busy durations (deltas, not
+	// cumulative).
 	Epoch      int           `json:"epoch,omitempty"`
 	MSE        float64       `json:"mse,omitempty"`
+	ValError   float64       `json:"val_error,omitempty"`
 	Wall       time.Duration `json:"wall_ns,omitempty"`
 	DeviceBusy time.Duration `json:"device_busy_ns,omitempty"`
+
+	// Objective names the SLO objective a slo.state transition or a flight
+	// snapshot is about.
+	Objective string `json:"objective,omitempty"`
+	// Path is the on-disk snapshot directory of a flight.snapshot event.
+	Path string `json:"path,omitempty"`
 
 	// Err carries the error text for failure events.
 	Err string `json:"error,omitempty"`
@@ -204,6 +222,7 @@ func (l *EventLog) Emit(ev Event) {
 	}
 	l.emitted.Add(1)
 	slot := l.seq.Add(1) - 1
+	ev.Seq = slot + 1
 	l.ring[slot%uint64(len(l.ring))].Store(&ev)
 	l.sinkTo(&ev)
 }
@@ -248,6 +267,15 @@ func (l *EventLog) Emitted() uint64 {
 	return l.emitted.Load()
 }
 
+// LastSeq returns the sequence number of the newest kept event (0 when
+// none) — the starting cursor for incremental Query via SinceSeq.
+func (l *EventLog) LastSeq() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.seq.Load()
+}
+
 // Dropped returns how many ok events sampling discarded.
 func (l *EventLog) Dropped() uint64 {
 	if l == nil {
@@ -265,6 +293,9 @@ type EventQuery struct {
 	MinLevel Level
 	// Since keeps only events at or after this instant.
 	Since time.Time
+	// SinceSeq keeps only events whose Seq is strictly greater — the
+	// resumable-cursor form of Since.
+	SinceSeq uint64
 	// Limit bounds the result count; <= 0 returns every match retained.
 	Limit int
 }
@@ -287,6 +318,9 @@ func (q EventQuery) matches(ev *Event) bool {
 		return false
 	}
 	if !q.Since.IsZero() && ev.Time.Before(q.Since) {
+		return false
+	}
+	if q.SinceSeq > 0 && ev.Seq <= q.SinceSeq {
 		return false
 	}
 	return true

@@ -123,7 +123,8 @@ func sortTracesNewestFirst(ts []TraceSnapshot) {
 //	?outcome=   request outcome or job state ("ok", "shed", "failed", ...)
 //	?job=       training job id
 //	?level=     minimum severity ("info", "warn", "error")
-//	?since=     RFC 3339 instant, or a Go duration meaning "this long ago"
+//	?since=     an integer event sequence number (events after that cursor),
+//	            an RFC 3339 instant, or a Go duration meaning "this long ago"
 //	?limit=     at most N events (default 256)
 //
 // Nil logs are skipped; with no live logs the payload is empty, so the
@@ -185,30 +186,33 @@ func parseEventQuery(r *http.Request) (EventQuery, error) {
 		q.MinLevel = ParseLevel(lv)
 	}
 	if s := v.Get("since"); s != "" {
-		if t, err := time.Parse(time.RFC3339, s); err == nil {
+		if seq, err := strconv.ParseUint(s, 10, 64); err == nil {
+			q.SinceSeq = seq
+		} else if t, err := time.Parse(time.RFC3339, s); err == nil {
 			q.Since = t
 		} else if d, err := time.ParseDuration(s); err == nil && d >= 0 {
 			q.Since = time.Now().Add(-d)
 		} else {
-			return q, &badParamError{param: "since", value: s}
+			return q, &badParamError{param: "since", value: s,
+				forms: `an integer event sequence number (as in each event's "seq" field; returns events after that cursor), an RFC 3339 timestamp, or a non-negative Go duration meaning "this long ago"`}
 		}
 	}
 	if l := v.Get("limit"); l != "" {
 		n, err := strconv.Atoi(l)
 		if err != nil || n < 0 {
-			return q, &badParamError{param: "limit", value: l}
+			return q, &badParamError{param: "limit", value: l, forms: "a non-negative integer"}
 		}
 		q.Limit = n
 	}
 	return q, nil
 }
 
-// badParamError reports an unparseable query parameter.
-type badParamError struct{ param, value string }
+// badParamError reports an unparseable query parameter, documenting the
+// accepted forms in the 400 body.
+type badParamError struct{ param, value, forms string }
 
 func (e *badParamError) Error() string {
-	return "bad " + e.param + " parameter " + strconv.Quote(e.value) +
-		" (want RFC 3339, a Go duration, or a non-negative integer as applicable)"
+	return "bad " + e.param + " parameter " + strconv.Quote(e.value) + " (want " + e.forms + ")"
 }
 
 // sortEventsNewestFirst orders events by time, newest first (insertion

@@ -273,10 +273,31 @@ func TestEventsHandler(t *testing.T) {
 	if _, r := query("?since=1h"); len(r.Events) != 5 {
 		t.Fatalf("?since=1h returned %d events, want 5", len(r.Events))
 	}
+	// An integer ?since is a per-log sequence cursor: strictly after it.
+	// serveLog holds seqs 1-3 and jobLog 1-2, so ?since=2 returns only
+	// serveLog's third event.
+	if _, r := query("?since=2"); len(r.Events) != 1 || r.Events[0].Model != "b" {
+		t.Fatalf("?since=2 returned %+v, want only serveLog seq 3", r.Events)
+	}
+	if _, r := query("?since=0"); len(r.Events) != 5 {
+		t.Fatalf("?since=0 returned %d events, want all 5", len(r.Events))
+	}
 
 	for _, bad := range []string{"?since=yesterday", "?limit=-1", "?limit=x"} {
 		if code, _ := query(bad); code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", bad, code)
+		}
+	}
+	// The 400 body documents every accepted ?since form.
+	resp400, err := srv.Client().Get(srv.URL + "?since=yesterday")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp400.Body)
+	resp400.Body.Close()
+	for _, want := range []string{"sequence number", "RFC 3339", "duration"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("400 body %q does not document %q", raw, want)
 		}
 	}
 

@@ -311,6 +311,57 @@ func (r *Registry) Remove(name string, labels ...Label) {
 	}
 }
 
+// lookup returns the series with the exact label set, or nil.
+func (r *Registry) lookup(name string, labels []Label) *series {
+	r.mu.RLock()
+	f, ok := r.fams[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	key := labelKey(normalizeLabels(labels))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.series[key]
+}
+
+// Value reads the current value of the counter or gauge series with the
+// exact label set (func-backed series are invoked). It is the read side a
+// derived consumer — the SLO burn-rate evaluator — samples cumulative
+// counters through, without holding any handle into the owning subsystem.
+// The second return is false when no such scalar series exists.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	s := r.lookup(name, labels)
+	if s == nil {
+		return 0, false
+	}
+	switch {
+	case s.fn != nil:
+		return s.fn(), true
+	case s.ctr != nil:
+		return s.ctr.Value(), true
+	case s.gge != nil:
+		return s.gge.Value(), true
+	}
+	return 0, false
+}
+
+// SampleHistogram reads a point-in-time snapshot of the histogram series
+// with the exact label set; false when no such histogram exists.
+func (r *Registry) SampleHistogram(name string, labels ...Label) (HistogramSnapshot, bool) {
+	s := r.lookup(name, labels)
+	if s == nil {
+		return HistogramSnapshot{}, false
+	}
+	switch {
+	case s.hist != nil:
+		return s.hist.Snapshot(), true
+	case s.histFn != nil:
+		return s.histFn(), true
+	}
+	return HistogramSnapshot{}, false
+}
+
 // NumSeries returns the number of registered series across all families
 // (histograms count once) — the "registry non-empty" readiness signal.
 func (r *Registry) NumSeries() int {

@@ -1,0 +1,123 @@
+package slo
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// bucket accumulates good/bad counts for one time period. The period
+// stamp is immutable after construction; the counts are atomics, so
+// concurrent adds into the same period and concurrent sums never lock.
+type bucket struct {
+	period    int64 // time.UnixNano / ring width
+	good, bad atomic.Uint64
+}
+
+// ring is a fixed ring of time buckets, one slot per period modulo the
+// ring length. Rotation is stamp-checked: a slot is reused only by
+// CAS-installing a bucket for the current period, so a wall-clock jump
+// (forward or backward) can never smear counts across periods — a stale
+// slot simply stops matching and is excluded from sums. An add that loses
+// the install race retries against the winner's bucket; an add whose
+// period is already older than the slot's (clock stepped backward) is
+// dropped, a bounded, race-detector-clean loss documented here rather
+// than papered over with a lock.
+type ring struct {
+	width int64 // bucket width, nanoseconds
+	span  time.Duration
+	slots []atomic.Pointer[bucket]
+}
+
+func newRing(width, span time.Duration) *ring {
+	if width <= 0 {
+		width = time.Second
+	}
+	n := int(span/width) + 2 // +1 to cover span fully, +1 for the partial current bucket
+	return &ring{width: int64(width), span: span, slots: make([]atomic.Pointer[bucket], n)}
+}
+
+// add folds good/bad counts into the bucket for now.
+func (r *ring) add(nowNS int64, good, bad uint64) {
+	p := nowNS / r.width
+	slot := &r.slots[int(uint64(p)%uint64(len(r.slots)))]
+	for {
+		b := slot.Load()
+		if b != nil && b.period == p {
+			b.good.Add(good)
+			b.bad.Add(bad)
+			return
+		}
+		if b != nil && b.period > p {
+			return // clock stepped backward past this slot; drop
+		}
+		nb := &bucket{period: p}
+		nb.good.Store(good)
+		nb.bad.Store(bad)
+		if slot.CompareAndSwap(b, nb) {
+			return
+		}
+	}
+}
+
+// sum totals the buckets covering the window ending at now. An empty
+// window returns zeros; callers guard the division.
+func (r *ring) sum(nowNS int64, window time.Duration) (good, bad uint64) {
+	p := nowNS / r.width
+	n := int64(window) / r.width
+	if n < 1 {
+		n = 1
+	}
+	if n > int64(len(r.slots)) {
+		n = int64(len(r.slots))
+	}
+	min := p - n + 1
+	for i := range r.slots {
+		b := r.slots[i].Load()
+		if b == nil || b.period < min || b.period > p {
+			continue
+		}
+		good += b.good.Load()
+		bad += b.bad.Load()
+	}
+	return good, bad
+}
+
+// accumulator is the multi-resolution sliding window: a fine ring of
+// Resolution-wide buckets covering the mid (fast-rule) window, and a
+// coarse ring whose wider buckets stretch the same slot count across the
+// long (slow-rule) window. Sums pick whichever ring covers the requested
+// window at the finest resolution.
+type accumulator struct {
+	fine   *ring
+	coarse *ring
+}
+
+func newAccumulator(res, mid, long time.Duration) *accumulator {
+	coarseWidth := time.Duration(int64(long) / (int64(mid) / int64(res)))
+	if coarseWidth < res {
+		coarseWidth = res
+	}
+	return &accumulator{
+		fine:   newRing(res, mid),
+		coarse: newRing(coarseWidth, long),
+	}
+}
+
+// add records good/bad observations at now into both resolutions.
+func (a *accumulator) add(now time.Time, good, bad uint64) {
+	if good == 0 && bad == 0 {
+		return
+	}
+	ns := now.UnixNano()
+	a.fine.add(ns, good, bad)
+	a.coarse.add(ns, good, bad)
+}
+
+// sum totals the window ending at now from the finest ring that covers it.
+func (a *accumulator) sum(now time.Time, window time.Duration) (good, bad uint64) {
+	ns := now.UnixNano()
+	if window <= a.fine.span {
+		return a.fine.sum(ns, window)
+	}
+	return a.coarse.sum(ns, window)
+}

@@ -1,0 +1,143 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// at returns a synthetic instant n seconds past a fixed base.
+func at(n int) time.Time {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return base.Add(time.Duration(n) * time.Second)
+}
+
+// TestRingSumWindows checks bucket placement and window clamping: counts
+// land in per-second buckets and a sum covers exactly the requested
+// window ending at now.
+func TestRingSumWindows(t *testing.T) {
+	r := newRing(time.Second, 10*time.Second)
+	for i := 0; i < 5; i++ {
+		r.add(at(i).UnixNano(), 10, 1)
+	}
+	good, bad := r.sum(at(4).UnixNano(), 10*time.Second)
+	if good != 50 || bad != 5 {
+		t.Fatalf("full-window sum = %d/%d, want 50/5", good, bad)
+	}
+	// A 2s window ending at t=4 covers only seconds 3 and 4.
+	good, bad = r.sum(at(4).UnixNano(), 2*time.Second)
+	if good != 20 || bad != 2 {
+		t.Fatalf("2s-window sum = %d/%d, want 20/2", good, bad)
+	}
+	// A sub-bucket window still counts the current bucket.
+	good, _ = r.sum(at(4).UnixNano(), time.Millisecond)
+	if good != 10 {
+		t.Fatalf("sub-bucket window sum = %d, want 10", good)
+	}
+	// An empty window (the future) sums to zero without dividing.
+	good, bad = r.sum(at(100).UnixNano(), 10*time.Second)
+	if good != 0 || bad != 0 {
+		t.Fatalf("empty-window sum = %d/%d, want 0/0", good, bad)
+	}
+}
+
+// TestRingForwardClockJump checks that a wall-clock jump far past the
+// ring's span cannot smear old counts into new windows: stale buckets
+// stop matching their period stamp and are excluded.
+func TestRingForwardClockJump(t *testing.T) {
+	r := newRing(time.Second, 10*time.Second)
+	r.add(at(0).UnixNano(), 100, 100)
+	// Jump 1000s forward — every retained bucket is now stale.
+	jump := at(1000)
+	if good, bad := r.sum(jump.UnixNano(), 10*time.Second); good != 0 || bad != 0 {
+		t.Fatalf("sum after forward jump = %d/%d, want 0/0", good, bad)
+	}
+	r.add(jump.UnixNano(), 7, 3)
+	if good, bad := r.sum(jump.UnixNano(), 10*time.Second); good != 7 || bad != 3 {
+		t.Fatalf("sum after re-add = %d/%d, want 7/3", good, bad)
+	}
+}
+
+// TestRingBackwardClockJump checks the documented drop semantics: an add
+// whose period is older than the slot's current bucket (the clock stepped
+// backward a full ring length) is discarded rather than corrupting the
+// newer bucket, and a sum at the old instant excludes the newer bucket.
+func TestRingBackwardClockJump(t *testing.T) {
+	r := newRing(time.Second, 10*time.Second)
+	n := len(r.slots)
+	newer := at(5 * n)
+	older := newer.Add(-time.Duration(n) * time.Second) // same slot, older period
+	r.add(newer.UnixNano(), 10, 10)
+	r.add(older.UnixNano(), 5, 5) // dropped: slot holds a newer period
+	if good, bad := r.sum(older.UnixNano(), 10*time.Second); good != 0 || bad != 0 {
+		t.Fatalf("backward-jump sum = %d/%d, want 0/0 (newer bucket excluded, old add dropped)", good, bad)
+	}
+	if good, _ := r.sum(newer.UnixNano(), 10*time.Second); good != 10 {
+		t.Fatalf("newer bucket lost its counts: good = %d, want 10", good)
+	}
+}
+
+// TestAccumulatorResolutionSelection checks that sums come from the fine
+// ring while the window fits it and from the coarse ring beyond.
+func TestAccumulatorResolutionSelection(t *testing.T) {
+	// Fine: 1s buckets over 10s; coarse: 6s buckets over 60s.
+	a := newAccumulator(time.Second, 10*time.Second, 60*time.Second)
+	for i := 0; i < 30; i++ {
+		a.add(at(i), 1, 0)
+	}
+	if good, _ := a.sum(at(29), 10*time.Second); good != 10 {
+		t.Fatalf("fine sum = %d, want 10", good)
+	}
+	good, _ := a.sum(at(29), 60*time.Second)
+	if good != 30 {
+		t.Fatalf("coarse sum = %d, want all 30", good)
+	}
+	// Zero-count adds are dropped entirely (no bucket churn).
+	a.add(at(29), 0, 0)
+	if good, _ := a.sum(at(29), 10*time.Second); good != 10 {
+		t.Fatalf("zero add changed the sum: %d", good)
+	}
+}
+
+// TestWindowConcurrentAddSum races concurrent recording against window
+// sums and bucket rotation — the lock-free contract the evaluator's
+// "no new locks on the hot path" claim rests on. Run with -race.
+func TestWindowConcurrentAddSum(t *testing.T) {
+	a := newAccumulator(10*time.Millisecond, 100*time.Millisecond, 600*time.Millisecond)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Spread adds across bucket periods so rotation happens
+				// while sums are in flight.
+				a.add(at(0).Add(time.Duration(i%50)*10*time.Millisecond), 1, 1)
+				i++
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				now := at(0).Add(time.Duration(i%60) * 10 * time.Millisecond)
+				g1, b1 := a.sum(now, 100*time.Millisecond)
+				g2, b2 := a.sum(now, 600*time.Millisecond)
+				_ = g1 + g2
+				_ = b1 + b2
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

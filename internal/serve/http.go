@@ -12,6 +12,7 @@ import (
 
 	"eigenpro/internal/mat"
 	"eigenpro/internal/obs"
+	"eigenpro/internal/obs/slo"
 )
 
 // Bounds on the serve HTTP surface, mirroring the /train hardening: both
@@ -44,8 +45,12 @@ const (
 //	                        with exemplars under Accept: application/openmetrics-text)
 //	GET  /debug/traces      recent request span traces (JSON; ?id= and ?limit=)
 //	GET  /debug/events      recent wide events (JSON; ?model=&outcome=&since=&limit=)
+//	GET  /debug/slo         SLO objectives, burn rates, budget, alert history (JSON)
+//	GET  /debug/flight      flight-recorder snapshots (JSON; ?snapshot= and ?file=)
 //	GET  /healthz           liveness
-//	GET  /readyz            readiness: 200 once at least one model is registered
+//	GET  /readyz            readiness: 200 once at least one model is
+//	                        registered; 503 "degraded" while an SLO
+//	                        objective is paging
 //
 // Each row of a predict request is routed through the batcher individually,
 // so concurrent HTTP clients (and the rows of one multi-row request)
@@ -100,20 +105,30 @@ func NewHandler(s *Server) http.Handler {
 	mux.Handle("/metrics", obs.MetricsHandler(s.Metrics()))
 	mux.Handle("/debug/traces", obs.TracesHandler(s.Tracer()))
 	mux.Handle("/debug/events", obs.EventsHandler(s.Events()))
+	mux.Handle("/debug/slo", slo.Handler(s.SLO()))
+	mux.Handle("/debug/flight", obs.FlightHandler(s.Flight()))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/readyz", readyHandler(func() bool { return len(s.Models()) > 0 }))
+	mux.HandleFunc("/readyz", readyHandler(
+		func() bool { return len(s.Models()) > 0 }, s.SLO()))
 	return mux
 }
 
 // readyHandler returns a readiness endpoint: 200 "ok" when ready reports
-// true, 503 otherwise.
-func readyHandler(ready func() bool) http.HandlerFunc {
+// true, 503 otherwise. A paging SLO objective degrades a ready process to
+// 503 "degraded: slo page" so orchestrators stop routing new traffic at a
+// server that is blowing its budget.
+func readyHandler(ready func() bool, ev *slo.Evaluator) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !ready() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "not ready")
+			return
+		}
+		if ev.Paging() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "degraded: slo page")
 			return
 		}
 		fmt.Fprintln(w, "ok")
