@@ -1,0 +1,141 @@
+package eigenpro
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// durableSpec is a small training job used by the durability tests.
+func durableSpec(name string, epochs int, seed int64) TrainingSpec {
+	ds := SUSYLike(200, seed)
+	return TrainingSpec{
+		Name: name,
+		Config: Config{
+			Kernel: GaussianKernel(3),
+			Epochs: epochs,
+			Seed:   seed,
+			S:      64,
+		},
+		X: ds.X,
+		Y: ds.Y,
+	}
+}
+
+// TestDurableRestartRecoversThroughPublicAPI is the PR's acceptance
+// criterion exercised via the public surface only: a persistent manager is
+// shut down mid-job, a fresh manager on the same state directory recovers
+// and auto-resumes it, the finished model re-registers into the serving
+// registry, and its coefficients are bit-identical to an uninterrupted
+// Train run with the same seed.
+func TestDurableRestartRecoversThroughPublicAPI(t *testing.T) {
+	stateDir := t.TempDir()
+	spec := durableSpec("susy", 60, 7)
+
+	mgr, err := OpenTrainingManager(TrainingConfig{Workers: 1, StateDir: stateDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := SubmitTraining(mgr, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if info, ok := JobStatus(mgr, id); ok && info.Epoch >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached epoch 2")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mgr.Close() // checkpoint + journal "interrupted"
+
+	srv := NewServer(ServerConfig{})
+	defer srv.Close()
+	mgr2, err := OpenTrainingManager(TrainingConfig{Workers: 1, StateDir: stateDir, Registrar: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	if mgr2.Recovered() != 1 {
+		t.Fatalf("Recovered() = %d, want 1", mgr2.Recovered())
+	}
+	info, err := mgr2.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != JobDone || !info.Servable || !info.Recovered {
+		t.Fatalf("recovered job: %+v, want done+servable+recovered", info)
+	}
+
+	// Bit-exact versus the uninterrupted reference run.
+	ref, err := Train(spec.Config, spec.X, spec.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := mgr2.Model(id)
+	if !ok {
+		t.Fatal("no model for recovered job")
+	}
+	for i, v := range got.Alpha.Data {
+		if v != ref.Model.Alpha.Data[i] {
+			t.Fatalf("Alpha[%d] = %v, want %v (not bit-identical)", i, v, ref.Model.Alpha.Data[i])
+		}
+	}
+
+	// The finished model is servable on the registry recovery registered
+	// it into.
+	if _, err := srv.Predict(context.Background(), "susy", spec.X.RowView(0)); err != nil {
+		t.Fatalf("Predict against recovered model: %v", err)
+	}
+
+	// The recovery counter is exposed on /metrics of the combined handler.
+	ts := httptest.NewServer(NewTrainServeHandler(srv, mgr2))
+	defer ts.Close()
+	if v, ok := mgr2.Metrics().Value("eigenpro_jobs_recovered_total"); !ok || v != 1 {
+		t.Fatalf("eigenpro_jobs_recovered_total = %v, %v; want 1", v, ok)
+	}
+}
+
+// TestDrainThroughPublicAPI covers the graceful-shutdown surface: Drain
+// closes admission with ErrServerDraining, /readyz flips to 503
+// "draining", and in-flight work is flushed rather than failed.
+func TestDrainThroughPublicAPI(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	defer srv.Close()
+	mgr := NewTrainingManager(TrainingConfig{Workers: 1, Registrar: srv})
+	defer mgr.Close()
+
+	res, err := Train(durableSpec("susy", 3, 1).Config,
+		durableSpec("susy", 3, 1).X, durableSpec("susy", 3, 1).Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("susy", res.Model); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewTrainServeHandler(srv, mgr))
+	defer ts.Close()
+
+	if err := srv.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := srv.Predict(context.Background(), "susy", res.Model.X.RowView(0)); !errors.Is(err, ErrServerDraining) {
+		t.Fatalf("Predict while draining: %v, want ErrServerDraining", err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || string(body) != "draining\n" {
+		t.Fatalf("/readyz while draining: %d %q, want 503 \"draining\\n\"", resp.StatusCode, body)
+	}
+}

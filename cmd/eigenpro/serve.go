@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"eigenpro"
@@ -15,6 +19,14 @@ import (
 // expose the batched prediction endpoint over HTTP — together with the
 // async training-job endpoints, so POST /train → GET /jobs/{id} → POST
 // /v1/predict closes the train → serve loop on one process.
+//
+// With -state-dir the job manager runs in crash-safe persistent mode:
+// lifecycle transitions are journaled, running jobs checkpoint each epoch,
+// and restarting with the same directory recovers every job — finished
+// models become servable again and interrupted jobs resume bit-exactly.
+// SIGTERM/SIGINT triggers graceful shutdown: admission closes (/readyz
+// turns 503 "draining"), in-flight predictions flush within -drain-timeout,
+// the HTTP listener shuts down, and running jobs checkpoint to disk.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	modelPath := fs.String("model", "", "gob model to serve (from eigenpro -save); empty trains a fresh one")
@@ -40,6 +52,9 @@ func runServe(args []string) {
 	flightInterval := fs.Duration("flight-interval", 5*time.Minute, "minimum spacing between flight snapshots")
 	trainWorkers := fs.Int("train-workers", 2, "training-job worker pool size")
 	trainQueue := fs.Int("train-queue", 64, "pending training-job queue depth")
+	stateDir := fs.String("state-dir", "", "durable state directory for crash-safe training jobs (empty: in-memory only)")
+	checkpointEvery := fs.Int("checkpoint-every", 1, "checkpoint running jobs every N epoch boundaries (persistent mode)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for flushing in-flight predictions")
 	dataset := fs.String("dataset", "mnist", "fallback training dataset when -model is empty")
 	n := fs.Int("n", 1000, "fallback training samples")
 	sigma := fs.Float64("sigma", 5, "fallback training kernel bandwidth")
@@ -132,13 +147,42 @@ func runServe(args []string) {
 	})
 	defer srv.Close()
 
-	if *modelPath != "" {
+	// The manager comes up before the model decision: in persistent mode
+	// recovery replays the journal here, re-registering finished models
+	// into srv and auto-resuming interrupted jobs — which can make the
+	// fallback training below unnecessary.
+	mgr, err := eigenpro.OpenTrainingManager(eigenpro.TrainingConfig{
+		Workers:         *trainWorkers,
+		QueueDepth:      *trainQueue,
+		Registrar:       srv,
+		Metrics:         reg,
+		Tracer:          tracer,
+		Events:          events,
+		SLO:             sloEval,
+		Flight:          flight,
+		StateDir:        *stateDir,
+		CheckpointEvery: *checkpointEvery,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "open training manager: %v\n", err)
+		os.Exit(1)
+	}
+	defer mgr.Close()
+	if *stateDir != "" {
+		fmt.Printf("durable job state under %s; recovered %d job(s)\n", *stateDir, mgr.Recovered())
+	}
+
+	switch {
+	case *modelPath != "":
 		if err := srv.LoadModelFile(*name, *modelPath); err != nil {
 			fmt.Fprintf(os.Stderr, "load model: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("serving model %q from %s\n", *name, *modelPath)
-	} else {
+	case len(srv.Models()) > 0:
+		// Recovery restored at least one finished model; no fallback needed.
+		fmt.Printf("serving recovered model(s): %s\n", strings.Join(srv.Models(), ", "))
+	default:
 		m, err := trainFallback(*dataset, *n, *sigma, *epochs, *seed, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "train fallback model: %v\n", err)
@@ -151,22 +195,11 @@ func runServe(args []string) {
 		fmt.Printf("serving freshly trained %s model as %q\n", *dataset, *name)
 	}
 
-	mgr := eigenpro.NewTrainingManager(eigenpro.TrainingConfig{
-		Workers:    *trainWorkers,
-		QueueDepth: *trainQueue,
-		Registrar:  srv,
-		Metrics:    reg,
-		Tracer:     tracer,
-		Events:     events,
-		SLO:        sloEval,
-		Flight:     flight,
-	})
-	defer mgr.Close()
-
-	mdl, _ := srv.Model(*name)
-	fmt.Printf("model: %d centers, %d features, %d outputs; device micro-batch m_max=%d\n",
-		mdl.X.Rows, mdl.X.Cols, mdl.Alpha.Cols,
-		eigenpro.SimTitanXp().ServeBatch(mdl.X.Rows, mdl.X.Cols, mdl.Alpha.Cols))
+	if mdl, ok := srv.Model(*name); ok {
+		fmt.Printf("model: %d centers, %d features, %d outputs; device micro-batch m_max=%d\n",
+			mdl.X.Rows, mdl.X.Cols, mdl.Alpha.Cols,
+			eigenpro.SimTitanXp().ServeBatch(mdl.X.Rows, mdl.X.Cols, mdl.Alpha.Cols))
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", eigenpro.NewTrainServeHandler(srv, mgr))
 	endpoints := "POST /v1/predict, GET /v1/stats, POST /train, GET /jobs"
@@ -185,9 +218,38 @@ func runServe(args []string) {
 		endpoints += ", GET /debug/pprof/"
 	}
 	fmt.Printf("listening on %s — %s\n", *addr, endpoints)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
-		os.Exit(1)
+
+	// Graceful shutdown: SIGTERM/SIGINT closes admission (Predict returns
+	// 503, /readyz reports "draining"), flushes in-flight predictions
+	// within -drain-timeout, stops the HTTP listener, and lets the deferred
+	// mgr.Close checkpoint running jobs — so a later restart with the same
+	// -state-dir resumes them bit-exactly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills the process immediately
+		fmt.Printf("signal received; draining in-flight requests (budget %v)...\n", *drainTimeout)
+		if err := srv.Drain(*drainTimeout); err != nil {
+			fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
+		}
+		// Checkpoint running jobs now (idempotent with the deferred call)
+		// so the "shut down" line below truthfully means state is durable.
+		mgr.Close()
+		fmt.Println("shut down cleanly")
 	}
 }
 

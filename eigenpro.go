@@ -224,6 +224,11 @@ var (
 	// (ServerConfig.Shed): the request's deadline could not survive the
 	// estimated queue wait, so it was refused before queueing doomed work.
 	ErrRequestShed = serve.ErrShed
+	// ErrServerDraining reports a request against a draining server:
+	// admission is closed for graceful shutdown (Server.Drain) while
+	// already-admitted requests flush. /readyz reports the same condition
+	// as 503 "draining".
+	ErrServerDraining = serve.ErrDraining
 )
 
 // NewServer starts a batched inference server. Register models with
@@ -458,6 +463,15 @@ var (
 // Cancel, continue with Resume; call Close to release the workers.
 func NewTrainingManager(cfg TrainingConfig) *TrainingManager { return jobs.New(cfg) }
 
+// OpenTrainingManager starts a training-job manager with crash-safe
+// durability when cfg.StateDir is set: every lifecycle transition is
+// journaled, running jobs checkpoint at epoch boundaries, and opening the
+// same state directory again replays the journal — finished models
+// re-register into cfg.Registrar, and jobs interrupted by a crash or
+// shutdown resume automatically, reproducing the uninterrupted run bit for
+// bit. With an empty StateDir it behaves exactly like NewTrainingManager.
+func OpenTrainingManager(cfg TrainingConfig) (*TrainingManager, error) { return jobs.Open(cfg) }
+
 // SubmitTraining enqueues a training job and returns its id.
 func SubmitTraining(m *TrainingManager, spec TrainingSpec) (string, error) { return m.Submit(spec) }
 
@@ -485,7 +499,8 @@ func JobStatus(m *TrainingManager, id string) (TrainingJob, bool) { return m.Job
 // both SLO evaluators (and /debug/flight serves whichever flight recorder
 // is attached), and GET /readyz reports ready once a model is servable or
 // the manager is accepting jobs — degraded (503) while any SLO objective
-// is paging.
+// is paging, and 503 "draining" once Server.Drain has begun graceful
+// shutdown.
 func NewTrainServeHandler(s *Server, m *TrainingManager) http.Handler {
 	mux := http.NewServeMux()
 	jh := jobs.NewHandler(m)
@@ -502,6 +517,11 @@ func NewTrainServeHandler(s *Server, m *TrainingManager) http.Handler {
 	}
 	mux.Handle("/debug/flight", obs.FlightHandler(flight))
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
 		if len(s.Models()) == 0 && !m.Accepting() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			io.WriteString(w, "not ready\n")

@@ -23,20 +23,11 @@ type kernelSpec struct {
 }
 
 func specOf(k kernel.Func) (kernelSpec, error) {
-	switch v := k.(type) {
-	case kernel.Gaussian:
-		return kernelSpec{Family: "gaussian", Sigma: v.Sigma}, nil
-	case kernel.Laplacian:
-		return kernelSpec{Family: "laplacian", Sigma: v.Sigma}, nil
-	case kernel.Cauchy:
-		return kernelSpec{Family: "cauchy", Sigma: v.Sigma}, nil
-	case kernel.Matern32:
-		return kernelSpec{Family: "matern32", Sigma: v.Sigma}, nil
-	case kernel.Matern52:
-		return kernelSpec{Family: "matern52", Sigma: v.Sigma}, nil
-	default:
-		return kernelSpec{}, fmt.Errorf("core: cannot serialize kernel %T", k)
+	family, sigma, err := kernel.Family(k)
+	if err != nil {
+		return kernelSpec{}, fmt.Errorf("core: cannot serialize kernel: %w", err)
 	}
+	return kernelSpec{Family: family, Sigma: sigma}, nil
 }
 
 func (s kernelSpec) kernel() (kernel.Func, error) {

@@ -1,0 +1,279 @@
+// Package durable is the crash-safe persistence layer: atomic file
+// writes with torn/corrupt-write detection, and an append-only journal
+// (JSON-lines WAL) whose replay tolerates the partial records a crash
+// leaves behind.
+//
+// The paper's train → serve loop earns its keep only if the process can
+// die — kill -9, OOM, power loss — without losing acknowledged work or
+// loading corrupt state afterwards. This package supplies the two disk
+// primitives the job manager builds that guarantee on:
+//
+//   - WriteFile / ReadFile: seal a blob into path atomically (temp file +
+//     fsync + rename + parent-dir fsync) with a CRC-checksummed trailer, so
+//     a reader either gets exactly the bytes that were sealed or a
+//     detectable ErrCorrupt — never a silent torn prefix.
+//   - Journal: an append-only JSON-lines write-ahead log with a per-record
+//     checksum. Replay skips (and counts) corrupt records and tolerates a
+//     truncated tail, the shape a crash mid-append leaves.
+//   - WriteRaw: the same atomic temp+fsync+rename discipline without the
+//     trailer, for files external tools must read verbatim (pprof profiles,
+//     metrics expositions in flight-recorder snapshots).
+//
+// All filesystem access goes through the FS interface so the fault
+// package can inject deterministic errors, latency, and crash points
+// under test; OS is the real implementation.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// ErrCorrupt reports that a sealed file or journal record failed its
+// integrity check: the write was torn by a crash, or the bytes were
+// damaged afterwards. Callers must treat the content as absent, never as
+// partially valid.
+var ErrCorrupt = errors.New("durable: corrupt or torn write detected")
+
+// File is the subset of *os.File the durability layer needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS abstracts the filesystem operations behind every durable write so
+// tests can substitute a fault-injecting implementation (internal/fault).
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+	Truncate(name string, size int64) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (OS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+// Process-wide durability counters, exposed as
+// eigenpro_durable_{fsyncs,corrupt_records,journal_records}_total by the
+// persistent job manager. They are package-level because durability is a
+// process property: the flight recorder's atomic snapshot writes and
+// every manager's journal all account into the same totals.
+var (
+	fsyncs         atomic.Uint64
+	corruptRecords atomic.Uint64
+	journalRecords atomic.Uint64
+)
+
+// Fsyncs returns how many fsync calls the durability layer has issued
+// process-wide.
+func Fsyncs() uint64 { return fsyncs.Load() }
+
+// CorruptRecords returns how many corrupt or torn artifacts (sealed files
+// and journal records) have been detected process-wide.
+func CorruptRecords() uint64 { return corruptRecords.Load() }
+
+// JournalRecords returns how many journal records have been appended
+// process-wide.
+func JournalRecords() uint64 { return journalRecords.Load() }
+
+// Sealed-file trailer: the payload is followed by
+//
+//	[8 bytes payload length, little endian]
+//	[4 bytes IEEE CRC32 of the payload, little endian]
+//	[8 bytes magic "EPDURBL1"]
+//
+// A reader verifies all three from the end of the file; any mismatch —
+// short file, wrong magic, wrong length, wrong checksum — is ErrCorrupt.
+const trailerSize = 8 + 4 + 8
+
+var sealMagic = [8]byte{'E', 'P', 'D', 'U', 'R', 'B', 'L', '1'}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func putUint32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint32(b []byte) uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// writeAtomic streams fill into path via a temp file in the same
+// directory, fsyncs, renames over path, and fsyncs the parent directory —
+// after which the file is durably either its previous content or the new
+// content, never a mixture. seal appends the integrity trailer.
+func writeAtomic(fsys FS, path string, seal bool, fill func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: write %s: %w", path, err)
+	}
+	cw := &crcWriter{w: f}
+	if err := fill(cw); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("durable: write %s: %w", path, err)
+	}
+	if seal {
+		var trailer [trailerSize]byte
+		putUint64(trailer[:8], uint64(cw.n))
+		putUint32(trailer[8:12], cw.crc)
+		copy(trailer[12:], sealMagic[:])
+		if _, err := f.Write(trailer[:]); err != nil {
+			f.Close()
+			fsys.Remove(tmp)
+			return fmt.Errorf("durable: write %s: %w", path, err)
+		}
+	}
+	fsyncs.Add(1)
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("durable: sync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("durable: close %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("durable: rename %s: %w", path, err)
+	}
+	syncDir(fsys, filepath.Dir(path))
+	return nil
+}
+
+// crcWriter tees writes into the IEEE CRC32 and a length count.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// syncDir makes a rename durable by fsyncing the directory entry. Errors
+// are ignored: some filesystems refuse directory fsync, and the rename
+// itself already succeeded.
+func syncDir(fsys FS, dir string) {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
+	if err != nil {
+		return
+	}
+	fsyncs.Add(1)
+	d.Sync()
+	d.Close()
+}
+
+// WriteFile seals data into path atomically with the integrity trailer;
+// read it back with ReadFile. Use for artifacts only this layer reads
+// (checkpoints, specs, models).
+func WriteFile(fsys FS, path string, data []byte) error {
+	return WriteFileWith(fsys, path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteFileWith is WriteFile with a streaming fill callback.
+func WriteFileWith(fsys FS, path string, fill func(io.Writer) error) error {
+	return writeAtomic(fsys, path, true, fill)
+}
+
+// WriteRaw writes path atomically (temp + fsync + rename) without the
+// trailer, for files external tools must read verbatim — flight-recorder
+// pprof profiles, metrics expositions. Torn writes cannot reach path, but
+// later in-place damage is not detectable.
+func WriteRaw(fsys FS, path string, fill func(io.Writer) error) error {
+	return writeAtomic(fsys, path, false, fill)
+}
+
+// ReadFile reads a sealed file, verifies its trailer, and returns the
+// payload. A missing trailer, bad magic, length mismatch, or checksum
+// mismatch returns an error wrapping ErrCorrupt (and counts toward
+// CorruptRecords); a missing file returns the os.ErrNotExist error.
+func ReadFile(fsys FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("durable: read %s: %w", path, err)
+	}
+	payload, err := Unseal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("durable: read %s: %w", path, err)
+	}
+	return payload, nil
+}
+
+// Unseal verifies a sealed blob's trailer and returns its payload (the
+// pure-function core of ReadFile, also the fuzzing entry point).
+func Unseal(raw []byte) ([]byte, error) {
+	if len(raw) < trailerSize {
+		corruptRecords.Add(1)
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the trailer", ErrCorrupt, len(raw))
+	}
+	trailer := raw[len(raw)-trailerSize:]
+	payload := raw[:len(raw)-trailerSize]
+	if [8]byte(trailer[12:20]) != sealMagic {
+		corruptRecords.Add(1)
+		return nil, fmt.Errorf("%w: bad trailer magic", ErrCorrupt)
+	}
+	if n := getUint64(trailer[:8]); n != uint64(len(payload)) {
+		corruptRecords.Add(1)
+		return nil, fmt.Errorf("%w: trailer says %d payload bytes, file holds %d", ErrCorrupt, n, len(payload))
+	}
+	if crc := getUint32(trailer[8:12]); crc != crc32.ChecksumIEEE(payload) {
+		corruptRecords.Add(1)
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}

@@ -1,0 +1,368 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob.bin")
+	payload := []byte("the quick brown fox\x00\x01\x02 jumps over the lazy dog")
+	if err := WriteFile(OS{}, path, payload); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(OS{}, path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: got %q want %q", got, payload)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived the rename: %v", err)
+	}
+}
+
+func TestWriteFileEmptyPayload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.bin")
+	if err := WriteFile(OS{}, path, nil); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(OS{}, path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want empty payload, got %d bytes", len(got))
+	}
+}
+
+func TestReadFileDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob.bin")
+	payload := bytes.Repeat([]byte("eigenpro"), 64)
+	if err := WriteFile(OS{}, path, payload); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	sealed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		// A torn write: only a prefix of the payload reached disk.
+		"torn prefix": sealed[:len(sealed)/2],
+		// Shorter than the trailer itself.
+		"tiny": sealed[:5],
+		// One payload byte flipped.
+		"bit flip": flip(sealed, 10),
+		// One trailer byte flipped (bad magic or checksum).
+		"trailer flip": flip(sealed, len(sealed)-1),
+		// Extra bytes appended after the trailer.
+		"appended garbage": append(append([]byte{}, sealed...), "junk"...),
+		"empty file":       {},
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			before := CorruptRecords()
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ReadFile(OS{}, path)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+			if CorruptRecords() <= before {
+				t.Fatal("corruption not counted")
+			}
+		})
+	}
+}
+
+func flip(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(OS{}, filepath.Join(t.TempDir(), "nope"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("want not-exist, got %v", err)
+	}
+}
+
+func TestWriteRawNoTrailer(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "raw.txt")
+	payload := []byte("verbatim content for external tools")
+	err := WriteRaw(OS{}, path, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("WriteRaw: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("raw file altered: got %q want %q", got, payload)
+	}
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob.bin")
+	if err := WriteFile(OS{}, path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(OS{}, path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("got %q want v2", got)
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, rep, err := OpenJournal(OS{}, path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if len(rep.Records) != 0 || rep.Corrupt != 0 || rep.TruncatedTail {
+		t.Fatalf("fresh journal replayed %+v", rep)
+	}
+	type rec struct {
+		Type string `json:"type"`
+		N    int    `json:"n"`
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append(rec{Type: "tick", N: i}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.Append(rec{}); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+
+	j2, rep, err := OpenJournal(OS{}, path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if len(rep.Records) != 10 || rep.Corrupt != 0 || rep.TruncatedTail {
+		t.Fatalf("replay %d records corrupt=%d tail=%v, want 10/0/false",
+			len(rep.Records), rep.Corrupt, rep.TruncatedTail)
+	}
+	if string(rep.Records[7]) != `{"type":"tick","n":7}` {
+		t.Fatalf("record 7 = %s", rep.Records[7])
+	}
+}
+
+func TestJournalTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, _, err := OpenJournal(OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(map[string]int{"n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: cut the final record in half.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(raw) - 4
+	if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep, err := OpenJournal(OS{}, path)
+	if err != nil {
+		t.Fatalf("reopen after tear: %v", err)
+	}
+	if len(rep.Records) != 2 || !rep.TruncatedTail {
+		t.Fatalf("replay %d records tail=%v, want 2/true", len(rep.Records), rep.TruncatedTail)
+	}
+	// The repaired journal accepts appends cleanly on the record boundary.
+	if err := j2.Append(map[string]int{"n": 99}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, rep, err = OpenJournal(OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 3 || rep.Corrupt != 0 || rep.TruncatedTail {
+		t.Fatalf("post-repair replay %+v, want 3 clean records", rep)
+	}
+	if string(rep.Records[2]) != `{"n":99}` {
+		t.Fatalf("appended record = %s", rep.Records[2])
+	}
+}
+
+func TestJournalCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, _, err := OpenJournal(OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(map[string]int{"n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Flip one byte inside the middle record's payload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	lines[1][12] ^= 0xff
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := CorruptRecords()
+	j2, rep, err := OpenJournal(OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(rep.Records) != 2 || rep.Corrupt != 1 {
+		t.Fatalf("replay %d records corrupt=%d, want 2/1", len(rep.Records), rep.Corrupt)
+	}
+	if CorruptRecords() <= before {
+		t.Fatal("journal corruption not counted")
+	}
+	// Records around the damage survive.
+	if string(rep.Records[0]) != `{"n":0}` || string(rep.Records[1]) != `{"n":2}` {
+		t.Fatalf("surviving records %s %s", rep.Records[0], rep.Records[1])
+	}
+}
+
+func TestJournalConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, _, err := OpenJournal(OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(false) // hammering with fsync per record is pointless here
+	const writers, each = 8, 50
+	done := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				if err := j.Append(map[string]int{"w": w, "i": i}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := OpenJournal(OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != writers*each || rep.Corrupt != 0 {
+		t.Fatalf("replay %d records corrupt=%d, want %d/0",
+			len(rep.Records), rep.Corrupt, writers*each)
+	}
+}
+
+func TestCountersAdvance(t *testing.T) {
+	dir := t.TempDir()
+	f0, r0 := Fsyncs(), JournalRecords()
+	if err := WriteFile(OS{}, filepath.Join(dir, "a"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if Fsyncs() <= f0 {
+		t.Fatal("sealed write did not fsync")
+	}
+	j, _, err := OpenJournal(OS{}, filepath.Join(dir, "j"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(map[string]bool{"ok": true}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if JournalRecords() != r0+1 {
+		t.Fatalf("journal records %d, want %d", JournalRecords(), r0+1)
+	}
+}
+
+func TestUnsealRejectsLengthLie(t *testing.T) {
+	// A trailer claiming a different payload length than the file holds
+	// must not cause a slice panic or a false accept.
+	for _, n := range []int{0, 1, trailerSize - 1, trailerSize, trailerSize + 3} {
+		raw := bytes.Repeat([]byte{0xaa}, n)
+		if _, err := Unseal(raw); err == nil {
+			t.Fatalf("Unseal accepted %d arbitrary bytes", n)
+		}
+	}
+}
+
+func BenchmarkJournalAppend(b *testing.B) {
+	dir := b.TempDir()
+	j, _, err := OpenJournal(OS{}, filepath.Join(dir, "j"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	j.SetSync(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(map[string]int{"n": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleWriteFile() {
+	dir, _ := os.MkdirTemp("", "durable")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.gob")
+	_ = WriteFile(OS{}, path, []byte("model bytes"))
+	payload, _ := ReadFile(OS{}, path)
+	fmt.Println(string(payload))
+	// Output: model bytes
+}

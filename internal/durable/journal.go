@@ -1,0 +1,190 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only JSON-lines write-ahead log. Each record is
+// one line:
+//
+//	<8 hex digits: IEEE CRC32 of payload> <payload JSON>\n
+//
+// Appends are fsynced by default, so a record returned from Append has
+// reached stable storage before the caller proceeds — the write-ahead
+// property recovery depends on. A crash mid-append leaves at most one
+// partial line at the tail; OpenJournal detects it, reports it in the
+// Replay, and truncates the file back to the last complete record so the
+// next append starts on a clean boundary.
+type Journal struct {
+	mu   sync.Mutex
+	fsys FS
+	path string
+	f    File
+	sync bool
+}
+
+// Replay is what OpenJournal recovered from an existing journal file.
+type Replay struct {
+	// Records holds the payload of every intact record, in append order.
+	Records [][]byte
+	// Corrupt counts complete lines whose checksum or framing failed;
+	// they are skipped, never surfaced as records.
+	Corrupt int
+	// TruncatedTail reports that the file ended in a partial line — the
+	// signature of a crash mid-append. The tail was truncated away.
+	TruncatedTail bool
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays its
+// intact records, repairs a truncated tail, and returns the journal
+// positioned for appends.
+func OpenJournal(fsys FS, path string) (*Journal, Replay, error) {
+	var rep Replay
+	raw, err := readAll(fsys, path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, rep, fmt.Errorf("durable: open journal %s: %w", path, err)
+	}
+	records, goodLen := ReplayJournal(raw, &rep)
+	rep.Records = records
+	if goodLen < int64(len(raw)) {
+		// A partial or corrupt tail would concatenate with the next
+		// append; cut the file back to the last intact boundary first.
+		if err := fsys.Truncate(path, goodLen); err != nil {
+			return nil, rep, fmt.Errorf("durable: repair journal %s: %w", path, err)
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, rep, fmt.Errorf("durable: open journal %s: %w", path, err)
+	}
+	return &Journal{fsys: fsys, path: path, f: f, sync: true}, rep, nil
+}
+
+// ReplayJournal scans raw journal bytes, appending each intact payload
+// and counting corruption into rep (which may be nil). It returns the
+// payloads and the byte offset just past the last line that should be
+// kept — complete corrupt lines are kept (skipping them is enough; they
+// are already durable), a partial tail is not. Exposed for fuzzing.
+func ReplayJournal(raw []byte, rep *Replay) (records [][]byte, keep int64) {
+	if rep == nil {
+		rep = &Replay{}
+	}
+	off := int64(0)
+	for len(raw) > 0 {
+		nl := bytes.IndexByte(raw, '\n')
+		if nl < 0 {
+			// Partial tail: a crash interrupted the final append.
+			rep.TruncatedTail = true
+			corruptRecords.Add(1)
+			return records, off
+		}
+		line := raw[:nl]
+		raw = raw[nl+1:]
+		off += int64(nl) + 1
+		payload, ok := parseJournalLine(line)
+		if !ok {
+			rep.Corrupt++
+			corruptRecords.Add(1)
+			continue
+		}
+		records = append(records, payload)
+	}
+	return records, off
+}
+
+// parseJournalLine splits "crc8hex payload" and verifies the checksum.
+func parseJournalLine(line []byte) ([]byte, bool) {
+	if len(line) < 9 || line[8] != ' ' {
+		return nil, false
+	}
+	var want uint32
+	for _, c := range line[:8] {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		default:
+			return nil, false
+		}
+		want = want<<4 | d
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Append marshals v as JSON and durably appends it as one record. The
+// record has reached disk when Append returns nil (unless SetSync(false)
+// turned fsync off for tests).
+func (j *Journal) Append(v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("durable: journal append: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("durable: journal append: %w", os.ErrClosed)
+	}
+	if _, err := io.WriteString(j.f, line); err != nil {
+		return fmt.Errorf("durable: journal append %s: %w", j.path, err)
+	}
+	if j.sync {
+		fsyncs.Add(1)
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("durable: journal sync %s: %w", j.path, err)
+		}
+	}
+	journalRecords.Add(1)
+	return nil
+}
+
+// SetSync toggles the per-append fsync. Leaving it on (the default) is
+// the durability contract; tests that hammer the journal may turn it off.
+func (j *Journal) SetSync(on bool) {
+	j.mu.Lock()
+	j.sync = on
+	j.mu.Unlock()
+}
+
+// Close syncs and closes the journal. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	fsyncs.Add(1)
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return fmt.Errorf("durable: journal close %s: %w", j.path, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("durable: journal close %s: %w", j.path, cerr)
+	}
+	return nil
+}
+
+// readAll reads the whole file at path through fsys.
+func readAll(fsys FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

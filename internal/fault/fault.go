@@ -1,0 +1,280 @@
+// Package fault is a deterministic fault-injection harness for the
+// durability layer: it wraps a durable.FS and injects errors, latency,
+// and crash points into filesystem operations on a seeded schedule, so
+// chaos tests can kill the job manager at arbitrary (but reproducible)
+// moments and assert that recovery never loads corrupt state and never
+// loses completed work.
+//
+// The injected crash mimics what a real kill -9 leaves on disk: the
+// write that trips the crash point persists only a random prefix of its
+// bytes (a torn write), and every operation after the crash fails — the
+// process is "dead" as far as the wrapped filesystem is concerned. The
+// test then reopens the state directory through a clean FS, exactly like
+// a restarted process would.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"eigenpro/internal/durable"
+)
+
+// ErrInjected is the error returned by operations that the schedule
+// chose to fail.
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrCrashed is returned by every operation after the crash point has
+// tripped: the simulated process is dead.
+var ErrCrashed = errors.New("fault: crashed")
+
+// Config selects the fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed makes the schedule reproducible; same seed, same faults.
+	Seed int64
+	// FailEvery fails every Nth operation with ErrInjected (0 disables).
+	FailEvery int
+	// FailRate fails each operation with this probability (0 disables).
+	FailRate float64
+	// CrashAfter trips the crash point on the Nth operation (0 disables):
+	// a write in flight is torn, and all later operations return
+	// ErrCrashed.
+	CrashAfter int64
+	// MaxLatency sleeps each operation a seeded-random duration in
+	// [0, MaxLatency) (0 disables).
+	MaxLatency time.Duration
+}
+
+// FS wraps an inner durable.FS with the fault schedule.
+type FS struct {
+	inner durable.FS
+	cfg   Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	ops     int64
+	crashed bool
+}
+
+// Wrap builds a fault-injecting filesystem around inner.
+func Wrap(inner durable.FS, cfg Config) *FS {
+	return &FS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Ops returns how many operations have been issued (including failed
+// ones).
+func (f *FS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point has tripped.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Crash trips the crash point manually: every subsequent operation
+// returns ErrCrashed.
+func (f *FS) Crash() {
+	f.mu.Lock()
+	f.crashed = true
+	f.mu.Unlock()
+}
+
+// step advances the operation counter and decides this operation's fate:
+// error to inject (nil = proceed), and whether this very operation is the
+// crash point (its write should tear).
+func (f *FS) step() (err error, crashing bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed, false
+	}
+	f.ops++
+	if d := f.cfg.MaxLatency; d > 0 {
+		sleep := time.Duration(f.rng.Int63n(int64(d)))
+		f.mu.Unlock()
+		time.Sleep(sleep)
+		f.mu.Lock()
+	}
+	if f.cfg.CrashAfter > 0 && f.ops >= f.cfg.CrashAfter {
+		f.crashed = true
+		return nil, true
+	}
+	if f.cfg.FailEvery > 0 && f.ops%int64(f.cfg.FailEvery) == 0 {
+		return fmt.Errorf("%w (op %d)", ErrInjected, f.ops), false
+	}
+	if f.cfg.FailRate > 0 && f.rng.Float64() < f.cfg.FailRate {
+		return fmt.Errorf("%w (op %d)", ErrInjected, f.ops), false
+	}
+	return nil, false
+}
+
+// tearFraction picks how much of a crash-point write survives.
+func (f *FS) tearFraction() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64()
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (durable.File, error) {
+	err, crashing := f.step()
+	if err != nil {
+		return nil, err
+	}
+	inner, ierr := f.inner.OpenFile(name, flag, perm)
+	if ierr != nil {
+		return nil, ierr
+	}
+	return &file{fs: f, inner: inner, crashNext: crashing}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	err, crashing := f.step()
+	if err != nil {
+		return err
+	}
+	if crashing {
+		// The crash landed between the temp write and the rename: the
+		// rename never happens.
+		return ErrCrashed
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	err, crashing := f.step()
+	if err != nil {
+		return err
+	}
+	if crashing {
+		return ErrCrashed
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) RemoveAll(path string) error {
+	err, crashing := f.step()
+	if err != nil {
+		return err
+	}
+	if crashing {
+		return ErrCrashed
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	err, crashing := f.step()
+	if err != nil {
+		return err
+	}
+	if crashing {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	err, crashing := f.step()
+	if err != nil || crashing {
+		if err == nil {
+			err = ErrCrashed
+		}
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FS) Stat(name string) (os.FileInfo, error) {
+	err, crashing := f.step()
+	if err != nil || crashing {
+		if err == nil {
+			err = ErrCrashed
+		}
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FS) Truncate(name string, size int64) error {
+	err, crashing := f.step()
+	if err != nil {
+		return err
+	}
+	if crashing {
+		return ErrCrashed
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// file wraps an open handle; its Write/Sync/Close also count as
+// operations and respect the schedule, and a crash point trips a torn
+// write: only a seeded-random prefix of the buffer reaches the inner
+// file before the error.
+type file struct {
+	fs        *FS
+	inner     durable.File
+	crashNext bool
+}
+
+func (h *file) Read(p []byte) (int, error) {
+	if err, crashing := h.fs.step(); err != nil || crashing {
+		if err == nil {
+			err = ErrCrashed
+		}
+		return 0, err
+	}
+	return h.inner.Read(p)
+}
+
+func (h *file) Write(p []byte) (int, error) {
+	err, crashing := h.fs.step()
+	if h.crashNext {
+		crashing, err = true, nil
+		h.fs.Crash()
+	}
+	if err != nil {
+		return 0, err
+	}
+	if crashing {
+		// Torn write: a random prefix lands, then the "process dies".
+		n := int(float64(len(p)) * h.fs.tearFraction())
+		h.inner.Write(p[:n])
+		h.inner.Sync()
+		return n, ErrCrashed
+	}
+	return h.inner.Write(p)
+}
+
+func (h *file) Sync() error {
+	err, crashing := h.fs.step()
+	if err != nil {
+		return err
+	}
+	if crashing {
+		return ErrCrashed
+	}
+	return h.inner.Sync()
+}
+
+func (h *file) Close() error {
+	// Close always reaches the inner file so handles are not leaked, but
+	// still reports the scheduled fault.
+	err, crashing := h.fs.step()
+	cerr := h.inner.Close()
+	if err != nil {
+		return err
+	}
+	if crashing {
+		return ErrCrashed
+	}
+	return cerr
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"eigenpro/internal/core"
+	"eigenpro/internal/durable"
 	"eigenpro/internal/mat"
 	"eigenpro/internal/obs"
 	"eigenpro/internal/obs/slo"
@@ -87,6 +88,21 @@ type Config struct {
 	// Flight is the breach-triggered flight recorder whose snapshots
 	// NewHandler serves at GET /debug/flight; nil disables the endpoint.
 	Flight *obs.FlightRecorder
+	// StateDir, when non-empty, selects persistent mode: every lifecycle
+	// transition is appended to a checksummed journal under this
+	// directory, running trainers checkpoint to disk at epoch boundaries,
+	// and Open replays the journal on startup — re-registering finished
+	// models and resuming interrupted jobs bit-for-bit from their last
+	// durable checkpoint. Empty keeps the original in-memory manager.
+	StateDir string
+	// FS is the filesystem persistence goes through; nil selects the real
+	// one (durable.OS). Chaos tests inject a fault.FS here to kill the
+	// manager at deterministic crash points.
+	FS durable.FS
+	// CheckpointEvery checkpoints a running trainer every N completed
+	// epochs in persistent mode; <= 0 selects every epoch. Raising it
+	// trades restart re-work for fewer fsyncs on the training path.
+	CheckpointEvery int
 }
 
 // Defaults for Config zero values.
@@ -168,6 +184,9 @@ type Info struct {
 	Checkpointed bool `json:"checkpointed"`
 	// Resumes counts how many times the job was resumed.
 	Resumes int `json:"resumes"`
+	// Recovered reports that this job was restored from the durable
+	// journal by a restarted manager.
+	Recovered bool `json:"recovered,omitempty"`
 	// TraceID names the job's span trace at /debug/traces.
 	TraceID string `json:"trace_id,omitempty"`
 }
@@ -225,22 +244,51 @@ type Manager struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
+	// store is the durable persistence layer, nil outside persistent
+	// mode; recoveredN counts jobs restored by Open's journal replay.
+	store      *store
+	recoveredN int
+
 	// Lifecycle counters, registered in initMetrics.
 	submitted *obs.Counter
 	completed *obs.Counter
 	failed    *obs.Counter
 	cancelled *obs.Counter
 	resumed   *obs.Counter
+	recovered *obs.Counter
+	// persistErrors counts tolerated durability failures: the job kept
+	// running, but its latest state may not survive a crash.
+	persistErrors *obs.Counter
 }
 
 // New starts a manager with the given configuration. Close stops the
-// workers, checkpointing any running jobs.
+// workers, checkpointing any running jobs. In persistent mode
+// (Config.StateDir set) prefer Open, which reports recovery errors
+// instead of panicking on them.
 func New(cfg Config) *Manager {
+	m, err := Open(cfg)
+	if err != nil {
+		// Only possible with a StateDir whose journal cannot be opened;
+		// the in-memory construction below it cannot fail.
+		panic(fmt.Sprintf("jobs: New: %v (use Open to handle state-dir errors)", err))
+	}
+	return m
+}
+
+// Open starts a manager with the given configuration. With
+// Config.StateDir set it opens (creating if needed) the durable state
+// directory, replays the job journal, re-registers finished models, and
+// re-enqueues interrupted jobs before the workers start — so a restarted
+// process resumes exactly where the crash left it.
+func Open(cfg Config) (*Manager, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = DefaultWorkers
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
@@ -255,11 +303,22 @@ func New(cfg Config) *Manager {
 		done:  make(chan struct{}),
 	}
 	m.initMetrics()
+	if cfg.StateDir != "" {
+		st, replay, err := openStore(cfg.FS, cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		m.store = st
+		m.initPersistMetrics()
+		// Recovery runs before the workers start: re-enqueued jobs park in
+		// the buffered queue channel and begin the moment workers spin up.
+		m.recover(replay)
+	}
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
 
 // Submit validates and enqueues a training job, returning its id. The
@@ -319,6 +378,16 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	}
 	m.jobs[id] = j
 	m.order = append(m.order, id)
+	// Persist the spec and journal the submission before releasing the
+	// lock: once Submit returns the id, a crash-and-restart must be able
+	// to reconstruct the job, and no later record (a worker's "started")
+	// may precede "submitted" in the journal.
+	if m.store != nil {
+		if err := m.store.saveSpec(id, spec); err != nil {
+			m.persistFailure(id, tr.ID(), fmt.Errorf("save spec: %w", err))
+		}
+		m.journal(journalRecord{Type: recSubmitted, Job: id, Name: name}, id, tr.ID())
+	}
 	m.mu.Unlock()
 	tr.Span("submit", now, time.Now())
 	m.submitted.Inc()
@@ -405,6 +474,7 @@ func (m *Manager) Cancel(id string) error {
 		j.info.State = StateCancelled
 		m.cancelled.Inc()
 		m.jobStateEvent(obs.LevelWarn, j, StateCancelled, "")
+		m.journal(journalRecord{Type: recCancelled, Job: id}, id, j.tr.ID())
 		j.cond.Broadcast()
 		return nil
 	case StateRunning:
@@ -451,6 +521,7 @@ func (m *Manager) Resume(id string) error {
 	j.info.Resumes++
 	m.resumed.Inc()
 	m.jobStateEvent(obs.LevelInfo, j, StateQueued, "")
+	m.journal(journalRecord{Type: recResumed, Job: id}, id, j.tr.ID())
 	j.cond.Broadcast()
 	return nil
 }
@@ -497,6 +568,12 @@ func (m *Manager) Delete(id string) error {
 	}
 	// Evict the job's labeled training gauges with it.
 	core.UnobserveTraining(m.cfg.Metrics, obs.L("job", id))
+	if m.store != nil {
+		if err := m.store.removeJob(id); err != nil {
+			m.persistFailure(id, j.tr.ID(), fmt.Errorf("remove artifacts: %w", err))
+		}
+		m.journal(journalRecord{Type: recDeleted, Job: id}, id, j.tr.ID())
+	}
 	return nil
 }
 
@@ -526,8 +603,16 @@ func (m *Manager) Close() {
 			})
 			if cancelled {
 				m.jobStateEvent(obs.LevelWarn, j, StateCancelled, "")
+				// Journaled as interrupted, not cancelled: shutdown is the
+				// system's choice, so a restarted manager re-enqueues the
+				// job instead of waiting for a manual resume.
+				snap := j.snapshot()
+				m.journal(journalRecord{Type: recInterrupted, Job: snap.ID, Epoch: snap.Epoch}, snap.ID, snap.TraceID)
 			}
 		default:
+			if m.store != nil {
+				m.store.close()
+			}
 			return
 		}
 	}
@@ -568,6 +653,7 @@ func (m *Manager) run(j *job) {
 		if j.info.State == StateQueued {
 			j.info.State = StateCancelled
 			m.jobStateEvent(obs.LevelWarn, j, StateCancelled, "")
+			m.journal(journalRecord{Type: recCancelled, Job: j.info.ID}, j.info.ID, j.tr.ID())
 		}
 		j.cond.Broadcast()
 		j.mu.Unlock()
@@ -575,6 +661,7 @@ func (m *Manager) run(j *job) {
 	}
 	j.info.State = StateRunning
 	m.jobStateEvent(obs.LevelInfo, j, StateRunning, "")
+	m.journal(journalRecord{Type: recStarted, Job: j.info.ID}, j.info.ID, j.tr.ID())
 	if j.info.Started.IsZero() {
 		j.info.Started = time.Now()
 	}
@@ -636,12 +723,23 @@ func (m *Manager) run(j *job) {
 			// a fully-trained model as cancelled.
 			break
 		}
+		// Persistent mode: seal the trainer state to disk at the epoch
+		// boundary, so a kill -9 from here on loses at most the epochs
+		// since the last checkpoint — and the journal record makes the
+		// progress discoverable at recovery.
+		if m.store != nil && stats.Epoch%m.cfg.CheckpointEvery == 0 {
+			if err := m.store.saveCheckpoint(id, t); err != nil {
+				m.persistFailure(id, j.tr.ID(), fmt.Errorf("epoch %d checkpoint: %w", stats.Epoch, err))
+			} else {
+				m.journal(journalRecord{Type: recEpoch, Job: id, Epoch: stats.Epoch, Checkpoint: true}, id, j.tr.ID())
+			}
+		}
 		select {
 		case <-cancelCh:
-			m.park(j, t)
+			m.park(j, t, false)
 			return
 		case <-m.done:
-			m.park(j, t)
+			m.park(j, t, true)
 			return
 		default:
 		}
@@ -652,6 +750,20 @@ func (m *Manager) run(j *job) {
 	j.result = res
 	name := j.info.Name
 	j.mu.Unlock()
+	// Persist the finished model before anything acknowledges completion.
+	// The "done" record is journaled only once the model is durably on
+	// disk: if the persist fails (or a crash lands between them), the last
+	// journal record is still an epoch checkpoint, so a restarted manager
+	// re-runs the tail of the training — deterministically producing the
+	// identical model — instead of recording a completion it cannot serve.
+	modelDurable := false
+	if m.store != nil {
+		if err := m.store.saveModel(id, res.Model); err != nil {
+			m.persistFailure(id, j.tr.ID(), fmt.Errorf("save model: %w", err))
+		} else {
+			modelDurable = true
+		}
+	}
 	if m.cfg.Registrar != nil {
 		regStart := time.Now()
 		if err := m.cfg.Registrar.Register(name, res.Model); err != nil {
@@ -668,10 +780,16 @@ func (m *Manager) run(j *job) {
 		i.Checkpointed = false
 	})
 	m.jobStateEvent(obs.LevelInfo, j, StateDone, "")
+	if modelDurable {
+		m.journal(journalRecord{Type: recDone, Job: id, Epoch: res.Epochs}, id, j.tr.ID())
+	}
 }
 
 // park checkpoints an interrupted trainer and marks the job cancelled.
-func (m *Manager) park(j *job, t *core.Trainer) {
+// interrupted distinguishes a manager shutdown (journaled so recovery
+// auto-resumes the job) from a user cancel (journaled so it stays
+// cancelled until an explicit resume).
+func (m *Manager) park(j *job, t *core.Trainer, interrupted bool) {
 	ckptStart := time.Now()
 	var buf bytes.Buffer
 	err := t.Checkpoint(&buf)
@@ -690,9 +808,25 @@ func (m *Manager) park(j *job, t *core.Trainer) {
 	}
 	j.info.State = StateCancelled
 	errText := j.info.Error
+	id := j.info.ID
+	epoch := j.info.Epoch
+	ckpt := j.info.Checkpointed
 	j.cond.Broadcast()
 	j.mu.Unlock()
 	m.jobStateEvent(obs.LevelWarn, j, StateCancelled, errText)
+	if m.store != nil {
+		if ckpt {
+			if serr := m.store.saveCheckpointBytes(id, buf.Bytes()); serr != nil {
+				m.persistFailure(id, j.tr.ID(), fmt.Errorf("park checkpoint: %w", serr))
+				ckpt = false
+			}
+		}
+		typ := recCancelled
+		if interrupted {
+			typ = recInterrupted
+		}
+		m.journal(journalRecord{Type: typ, Job: id, Epoch: epoch, Checkpoint: ckpt, Error: errText}, id, j.tr.ID())
+	}
 }
 
 // fail marks the job failed.
@@ -704,4 +838,6 @@ func (m *Manager) fail(j *job, err error) {
 		i.Finished = time.Now()
 	})
 	m.jobStateEvent(obs.LevelError, j, StateFailed, err.Error())
+	snap := j.snapshot()
+	m.journal(journalRecord{Type: recFailed, Job: snap.ID, Epoch: snap.Epoch, Error: snap.Error}, snap.ID, snap.TraceID)
 }

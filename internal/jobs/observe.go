@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"eigenpro/internal/durable"
 	"eigenpro/internal/obs"
 	"eigenpro/internal/obs/slo"
 )
@@ -18,6 +19,18 @@ const (
 	MetricJobsResumed    = "eigenpro_jobs_resumed_total"
 	MetricJobsQueueDepth = "eigenpro_jobs_queue_depth"
 	MetricJobsState      = "eigenpro_jobs_state"
+	// MetricJobsRecovered counts jobs restored from the durable journal
+	// by a restarted manager (persistent mode only).
+	MetricJobsRecovered = "eigenpro_jobs_recovered_total"
+	// MetricDurableWriteErrors counts tolerated persistence failures —
+	// the job lifecycle proceeded, but its latest state may not survive
+	// a crash. Alert on any increase.
+	MetricDurableWriteErrors = "eigenpro_durable_write_errors_total"
+	// Durability-layer totals, exported from the process-wide counters in
+	// internal/durable (registered only in persistent mode).
+	MetricDurableJournalRecords = "eigenpro_durable_journal_records_total"
+	MetricDurableCorruptRecords = "eigenpro_durable_corrupt_records_total"
+	MetricDurableFsyncs         = "eigenpro_durable_fsyncs_total"
 )
 
 // allStates enumerates the lifecycle states exposed as per-state gauges.
@@ -31,6 +44,8 @@ func (m *Manager) initMetrics() {
 	m.failed = reg.Counter(MetricJobsFailed, "Training jobs that ended in StateFailed.")
 	m.cancelled = reg.Counter(MetricJobsCancelled, "Times a job entered StateCancelled.")
 	m.resumed = reg.Counter(MetricJobsResumed, "Times a cancelled job was resumed.")
+	m.recovered = reg.Counter(MetricJobsRecovered, "Jobs restored from the durable journal at startup.")
+	m.persistErrors = reg.Counter(MetricDurableWriteErrors, "Tolerated persistence failures (state possibly not durable).")
 	reg.GaugeFunc(MetricJobsQueueDepth, "Jobs queued, waiting for a worker.",
 		func() float64 { return float64(len(m.queue)) })
 	for _, st := range allStates {
@@ -39,6 +54,19 @@ func (m *Manager) initMetrics() {
 			func() float64 { return float64(m.countState(st)) },
 			obs.L("state", string(st)))
 	}
+}
+
+// initPersistMetrics exposes the process-wide durability-layer counters;
+// called only in persistent mode (re-registration into a shared registry
+// dedupes, keeping the first registration).
+func (m *Manager) initPersistMetrics() {
+	reg := m.cfg.Metrics
+	reg.CounterFunc(MetricDurableJournalRecords, "Journal records appended process-wide.",
+		func() float64 { return float64(durable.JournalRecords()) })
+	reg.CounterFunc(MetricDurableCorruptRecords, "Corrupt or torn durable artifacts detected process-wide.",
+		func() float64 { return float64(durable.CorruptRecords()) })
+	reg.CounterFunc(MetricDurableFsyncs, "Fsyncs issued by the durability layer process-wide.",
+		func() float64 { return float64(durable.Fsyncs()) })
 }
 
 // countState counts jobs currently in the given state (scrape-time only).

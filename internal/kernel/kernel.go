@@ -107,6 +107,27 @@ func Families() []string {
 	return []string{"gaussian", "laplacian", "cauchy", "matern32", "matern52"}
 }
 
+// Family returns the serializable (family, sigma) pair of a kernel built
+// from this package — the inverse of ByName. Kernels from outside the
+// package have no stable name and return an error; they can train but
+// cannot be checkpointed or persisted.
+func Family(k Func) (family string, sigma float64, err error) {
+	switch v := k.(type) {
+	case Gaussian:
+		return "gaussian", v.Sigma, nil
+	case Laplacian:
+		return "laplacian", v.Sigma, nil
+	case Cauchy:
+		return "cauchy", v.Sigma, nil
+	case Matern32:
+		return "matern32", v.Sigma, nil
+	case Matern52:
+		return "matern52", v.Sigma, nil
+	default:
+		return "", 0, fmt.Errorf("kernel: %T has no serializable family", k)
+	}
+}
+
 // PairwiseSqDist returns the a.Rows x b.Rows matrix of squared Euclidean
 // distances between the rows of a and the rows of b, computed via one GEMM.
 // Small negative values from cancellation are clamped to zero.

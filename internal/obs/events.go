@@ -74,6 +74,15 @@ const (
 	KindSLOState = "slo.state"
 	// KindFlight is one record per captured flight-recorder snapshot.
 	KindFlight = "flight.snapshot"
+	// KindJobRecovered is one record per job restored from the durable
+	// journal after a restart.
+	KindJobRecovered = "job.recovered"
+	// KindServerDrain is one record per graceful-drain phase transition
+	// (begin, drained, timeout).
+	KindServerDrain = "server.draining"
+	// KindDurableError is one record per persistence failure or corrupt
+	// artifact the durability layer detected and survived.
+	KindDurableError = "durable.error"
 )
 
 // Event is one wide, structured record of something the system did: a

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"eigenpro/internal/durable"
 )
 
 // Flight-recorder defaults.
@@ -284,16 +286,13 @@ func (f *FlightRecorder) write(dir, reason string, at time.Time, meta map[string
 	})
 }
 
+// writeFileWith writes one snapshot file atomically (temp file + fsync +
+// rename via the durability layer) so a crash mid-capture can never leave a
+// torn half-file that looks like evidence. The raw (no-trailer) variant
+// keeps the files readable by external tools: go tool pprof must open
+// cpu.pprof as-is.
 func writeFileWith(path string, fill func(io.Writer) error) error {
-	file, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fill(file); err != nil {
-		file.Close()
-		return err
-	}
-	return file.Close()
+	return durable.WriteRaw(durable.OS{}, path, fill)
 }
 
 // prune deletes the oldest snapshot directories beyond MaxSnapshots.

@@ -18,6 +18,10 @@ type request struct {
 	out      []float64
 	err      error
 	done     chan struct{}
+	// pending points at the server's in-flight request count once this
+	// request has been admitted to a queue; settle decrements it exactly
+	// once, on whichever path completes the request. Drain waits on it.
+	pending *atomic.Int64
 	// abandoned marks a caller that returned without its context being
 	// canceled (server shutdown raced the response); checked together with
 	// ctx.Err so no device work is spent on a response nobody reads.
@@ -27,7 +31,16 @@ type request struct {
 // fail completes the request with an error.
 func (r *request) fail(err error) {
 	r.err = err
+	r.settle()
 	close(r.done)
+}
+
+// settle removes the request from the server's in-flight count. Each
+// completion path calls it exactly once, immediately before closing done.
+func (r *request) settle() {
+	if r.pending != nil {
+		r.pending.Add(-1)
+	}
 }
 
 // abandon marks the request as having no caller waiting on it.

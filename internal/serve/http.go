@@ -111,16 +111,23 @@ func NewHandler(s *Server) http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/readyz", readyHandler(
-		func() bool { return len(s.Models()) > 0 }, s.SLO()))
+		func() bool { return len(s.Models()) > 0 }, s.Draining, s.SLO()))
 	return mux
 }
 
 // readyHandler returns a readiness endpoint: 200 "ok" when ready reports
-// true, 503 otherwise. A paging SLO objective degrades a ready process to
-// 503 "degraded: slo page" so orchestrators stop routing new traffic at a
-// server that is blowing its budget.
-func readyHandler(ready func() bool, ev *slo.Evaluator) http.HandlerFunc {
+// true, 503 otherwise. A draining server reports 503 "draining" so load
+// balancers stop routing new traffic here during graceful shutdown, and a
+// paging SLO objective degrades a ready process to 503 "degraded: slo page"
+// so orchestrators stop routing new traffic at a server that is blowing its
+// budget.
+func readyHandler(ready, draining func() bool, ev *slo.Evaluator) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if draining != nil && draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		if !ready() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "not ready")
@@ -254,7 +261,7 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest

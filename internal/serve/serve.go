@@ -60,6 +60,10 @@ var (
 	// the estimated queue wait — shedding doomed work before it occupies
 	// queue space.
 	ErrShed = errors.New("serve: predicted queue wait exceeds deadline, request shed")
+	// ErrDraining reports a Predict against a draining server: admission is
+	// closed for graceful shutdown while admitted requests flush. Load
+	// balancers see the same condition as a 503 on GET /readyz.
+	ErrDraining = errors.New("serve: draining, admission closed")
 )
 
 // Config configures a Server; zero values select the defaults.
@@ -169,11 +173,13 @@ type Server struct {
 	traceSeq atomic.Uint64 // request counter for TraceEvery sampling
 	batchSeq atomic.Uint64 // dispatched micro-batch ids for wide events
 
-	done    chan struct{}
-	closed  atomic.Bool
-	collWG  sync.WaitGroup // batcher goroutines, one per model entry
-	workWG  sync.WaitGroup // worker pool
-	closeMu sync.Mutex
+	done     chan struct{}
+	closed   atomic.Bool
+	draining atomic.Bool    // admission closed for graceful shutdown
+	pending  atomic.Int64   // requests admitted to a queue and not yet completed
+	collWG   sync.WaitGroup // batcher goroutines, one per model entry
+	workWG   sync.WaitGroup // worker pool
+	closeMu  sync.Mutex
 }
 
 // New starts a server with the given configuration. Close releases its
@@ -189,6 +195,13 @@ func New(cfg Config) *Server {
 	s.reg = newRegistry(s)
 	cfg.Metrics.GaugeFunc(MetricServeModels, "Registered model count.",
 		func() float64 { return float64(len(s.reg.names())) })
+	cfg.Metrics.GaugeFunc(MetricServeDraining, "1 while admission is closed for graceful shutdown.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
 	s.workWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go func() {
@@ -245,6 +258,20 @@ func (s *Server) Predict(ctx context.Context, name string, x []float64) ([]float
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	if s.draining.Load() {
+		s.stats.recordRejected()
+		if s.cfg.Events != nil {
+			s.cfg.Events.Emit(obs.Event{
+				Level:   obs.LevelWarn,
+				Kind:    obs.KindServeRequest,
+				Model:   name,
+				Outcome: "draining",
+				Rows:    1,
+				Err:     ErrDraining.Error(),
+			})
+		}
+		return nil, ErrDraining
+	}
 	e, ok := s.reg.entry(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
@@ -277,11 +304,18 @@ func (s *Server) Predict(ctx context.Context, name string, x []float64) ([]float
 			return nil, err
 		}
 	}
+	// The pending count is raised before the enqueue attempt so Drain can
+	// never observe zero while an admitted request is still in flight; a
+	// rejected request gives its increment straight back.
+	req.pending = &s.pending
+	s.pending.Add(1)
 	select {
 	case e.queue <- req:
 		s.cfg.Tracer.Commit(sampled)
 		tr.Span("enqueue", req.enq, time.Now())
 	default:
+		s.pending.Add(-1)
+		req.pending = nil
 		s.stats.recordRejected()
 		tr.Span("rejected", req.enq, time.Now())
 		s.requestEvent(obs.LevelWarn, "rejected", e.name, tr, req, ErrOverloaded)
@@ -401,6 +435,61 @@ func (s *Server) prepareTrace(name string) *obs.Trace {
 	return s.cfg.Tracer.Prepare(name)
 }
 
+// Draining reports whether admission is closed for graceful shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully quiesces the server for shutdown: admission closes
+// (Predict returns ErrDraining, /readyz turns 503 so load balancers stop
+// routing here), then Drain waits until every already-admitted request has
+// completed — flushed through the batcher and worker pool as usual — or the
+// timeout lapses. It returns nil once the server is idle, or an error
+// carrying the number of requests still in flight at the deadline. Drain
+// does not stop the serving goroutines; call Close afterwards. Idempotent
+// and safe to call concurrently; callers after the first wait alongside it.
+func (s *Server) Drain(timeout time.Duration) error {
+	begin := time.Now()
+	if s.draining.CompareAndSwap(false, true) && s.cfg.Events != nil {
+		s.cfg.Events.Emit(obs.Event{
+			Level:   obs.LevelWarn,
+			Kind:    obs.KindServerDrain,
+			Outcome: "begin",
+			Rows:    int(s.pending.Load()),
+		})
+	}
+	deadline := begin.Add(timeout)
+	for {
+		n := s.pending.Load()
+		if n <= 0 {
+			s.drainEvent("drained", 0, begin)
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			s.drainEvent("timeout", int(n), begin)
+			return fmt.Errorf("serve: drain timeout after %v with %d requests in flight", timeout, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// drainEvent emits the server.draining completion event (no-op with a nil
+// Config.Events).
+func (s *Server) drainEvent(outcome string, inflight int, begin time.Time) {
+	if s.cfg.Events == nil {
+		return
+	}
+	level := obs.LevelInfo
+	if outcome != "drained" {
+		level = obs.LevelError
+	}
+	s.cfg.Events.Emit(obs.Event{
+		Level:     level,
+		Kind:      obs.KindServerDrain,
+		Outcome:   outcome,
+		Rows:      inflight,
+		QueueWait: time.Since(begin),
+	})
+}
+
 // Close stops the batchers and workers. Queued requests fail with
 // ErrClosed; in-flight batches complete. Close is idempotent.
 func (s *Server) Close() {
@@ -495,6 +584,7 @@ func (s *Server) execute(b *batch) {
 		// matrix across callers (and let one caller's append clobber
 		// another's result).
 		r.out = append([]float64(nil), out.RowView(i)...)
+		r.settle()
 		close(r.done)
 	}
 }

@@ -28,6 +28,7 @@ const (
 	MetricServeUptime     = "eigenpro_serve_uptime_seconds"
 	MetricServeModels     = "eigenpro_serve_models"
 	MetricServeQueueDepth = "eigenpro_serve_queue_depth"
+	MetricServeDraining   = "eigenpro_serve_draining"
 )
 
 // latBucket0 is the upper bound of the first latency bucket; bucket i
